@@ -1,0 +1,340 @@
+// bench_test.go hosts one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out (sparse vs dense real-time encoding, pruning vs raw
+// solving, and the exponential cost of dropping unique values). Run:
+//
+//	go test -bench=. -benchmem
+//
+// The full parameter sweeps live in internal/bench (cmd/mtc-bench); these
+// benchmarks measure the hot paths at one representative point each so the
+// suite completes quickly and -benchmem reports allocation costs.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"mtc/internal/bench"
+	"mtc/internal/cobra"
+	"mtc/internal/core"
+	"mtc/internal/elle"
+	"mtc/internal/faults"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/npc"
+	"mtc/internal/polygraph"
+	"mtc/internal/polysi"
+	"mtc/internal/porcupine"
+	"mtc/internal/runner"
+	"mtc/internal/sat"
+	"mtc/internal/workload"
+)
+
+// histories are generated once and shared across benchmarks.
+var (
+	histOnce  sync.Once
+	serHist   *history.History // 3000-txn MT history from a serializable store (zipf)
+	siHist    *history.History // 3000-txn MT history from an SI store (zipf)
+	lwtOps    []core.LWT       // 2000-op fully concurrent LWT history
+	laHist    *elle.History    // list-append history
+	timedHist *history.History // for SSER benches
+)
+
+func setup() {
+	histOnce.Do(func() {
+		mk := func(mode kv.Mode) *history.History {
+			s := kv.NewStore(mode)
+			w := workload.GenerateMT(workload.MTConfig{
+				Sessions: 10, Txns: 300, Objects: 100,
+				Dist: workload.Zipfian, Seed: 1, ReadOnlyFrac: 0.2,
+			})
+			return runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
+		}
+		serHist = mk(kv.ModeSerializable)
+		siHist = mk(kv.ModeSI)
+		timedHist = mk(kv.ModeSerializable)
+		lwtOps = workload.GenerateLWT(workload.LWTConfig{
+			Sessions: 20, TxnsPerSession: 100, ConcurrentFrac: 1, Keys: 1, Seed: 2,
+		})
+		s := kv.NewStore(kv.ModeSerializable)
+		wla := workload.GenerateListAppend(workload.ListAppendConfig{
+			Sessions: 8, Txns: 100, Objects: 10, MaxTxnLen: 6, Seed: 3,
+		})
+		laHist, _ = runner.RunListAppend(s, wla, runner.Config{Retries: 8, DropAborted: true})
+	})
+}
+
+// --- Table I -------------------------------------------------------------
+
+func BenchmarkTable1Anomalies(b *testing.B) {
+	fixtures := history.Fixtures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fixtures {
+			core.CheckSSER(f.H)
+			core.CheckSER(f.H)
+			core.CheckSI(f.H)
+		}
+	}
+}
+
+// --- Figure 7: SER verification ------------------------------------------
+
+func BenchmarkFig7MTCSERVerify(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.CheckSER(serHist).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+func BenchmarkFig7CobraVerify(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cobra.CheckSER(serHist).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+// --- Figure 8: SI verification --------------------------------------------
+
+func BenchmarkFig8MTCSIVerify(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.CheckSI(siHist).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+func BenchmarkFig8PolySIVerify(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !polysi.CheckSI(siHist).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+// --- Figure 9: SSER / linearizability on LWT histories ---------------------
+
+func BenchmarkFig9MTCSSERVerify(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.VLLWT(lwtOps).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+func BenchmarkFig9PorcupineVerify(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !porcupine.Check(lwtOps) {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+// --- Figure 10: end-to-end SER ---------------------------------------------
+
+func BenchmarkFig10EndToEndMTC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewStore(kv.ModeSerializable)
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 10, Txns: 100, Objects: 100, Dist: workload.Uniform, Seed: int64(i),
+		})
+		h := runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
+		core.CheckSER(h)
+	}
+}
+
+func BenchmarkFig10EndToEndCobra(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewStore(kv.ModeSerializable)
+		w := workload.GenerateGT(workload.GTConfig{
+			Sessions: 10, Txns: 100, Objects: 100, OpsPerTxn: 12, Seed: int64(i),
+		})
+		h := runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
+		cobra.CheckSER(h)
+	}
+}
+
+// --- Figure 11: abort rates -------------------------------------------------
+
+func BenchmarkFig11MTWorkloadExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewStore(kv.ModeSerializable)
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 15, Txns: 40, Objects: 40, Dist: workload.Uniform, Seed: int64(i),
+		})
+		runner.Run(s, w, runner.Config{Retries: 0})
+	}
+}
+
+func BenchmarkFig11GTWorkloadExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewStore(kv.ModeSerializable)
+		w := workload.GenerateGT(workload.GTConfig{
+			Sessions: 15, Txns: 40, Objects: 40, OpsPerTxn: 20, Seed: int64(i),
+		})
+		runner.Run(s, w, runner.Config{Retries: 0})
+	}
+}
+
+// --- Table II: bug rediscovery ----------------------------------------------
+
+func BenchmarkTable2BugDetection(b *testing.B) {
+	bug := faults.BugByName("mariadb-galera-10.7.3")
+	for i := 0; i < b.N; i++ {
+		s := bug.NewStore(int64(i + 1))
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 8, Txns: 60, Objects: 3, Dist: workload.Exponential, Seed: int64(i),
+		})
+		h := runner.Run(s, w, runner.Config{Retries: 4}).H
+		core.CheckSI(h)
+	}
+}
+
+// --- Figures 13/14: MTC vs Elle ----------------------------------------------
+
+func BenchmarkFig13MTCDetectionTrial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewFaultyStore(kv.ModeSerializable, kv.Faults{WriteSkew: 0.3, Seed: int64(i + 1)})
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 8, Txns: 60, Objects: 10, Dist: workload.Exponential, Seed: int64(i),
+		})
+		h := runner.Run(s, w, runner.Config{Retries: 4}).H
+		core.CheckSER(h)
+	}
+}
+
+func BenchmarkFig13ElleAppendDetectionTrial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewFaultyStore(kv.ModeSerializable, kv.Faults{WriteSkew: 0.3, Seed: int64(i + 1)})
+		w := workload.GenerateListAppend(workload.ListAppendConfig{
+			Sessions: 8, Txns: 60, Objects: 10, MaxTxnLen: 8, Seed: int64(i),
+		})
+		h, _ := runner.RunListAppend(s, w, runner.Config{Retries: 4})
+		elle.CheckListAppend(h, elle.SER)
+	}
+}
+
+func BenchmarkFig14ElleAppendVerify(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !elle.CheckListAppend(laHist, elle.SER).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+// --- Figure 17: end-to-end SI -------------------------------------------------
+
+func BenchmarkFig17EndToEndMTCSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewStore(kv.ModeSI)
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 10, Txns: 100, Objects: 100, Dist: workload.Uniform, Seed: int64(i),
+		})
+		h := runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
+		core.CheckSI(h)
+	}
+}
+
+func BenchmarkFig17EndToEndPolySI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := kv.NewStore(kv.ModeSI)
+		w := workload.GenerateGT(workload.GTConfig{
+			Sessions: 10, Txns: 100, Objects: 100, OpsPerTxn: 12, Seed: int64(i),
+		})
+		h := runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
+		polysi.CheckSI(h)
+	}
+}
+
+// --- Ablations -----------------------------------------------------------------
+
+// BenchmarkAblationSSERDenseRT measures the paper's Theta(n^2) real-time
+// edge enumeration...
+func BenchmarkAblationSSERDenseRT(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CheckSSEROpt(timedHist, core.Options{SkipPreCheck: true})
+	}
+}
+
+// ...against the O(n log n) time-chain encoding this repo adds.
+func BenchmarkAblationSSERSparseRT(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CheckSSEROpt(timedHist, core.Options{SkipPreCheck: true, SparseRT: true})
+	}
+}
+
+// BenchmarkAblationPruneThenSolve measures Cobra's pipeline with pruning...
+func BenchmarkAblationPruneThenSolve(b *testing.B) {
+	setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := polygraph.Build(serHist)
+		if !p.Prune(polygraph.PruneSER) {
+			b.Fatal("unexpected prune failure")
+		}
+		sat.SolveAcyclic(p.N, p.Known, p.Cons)
+	}
+}
+
+// ...against handing every raw constraint to the solver.
+func BenchmarkAblationRawSolve(b *testing.B) {
+	// A smaller history keeps the unpruned problem tractable.
+	s := kv.NewStore(kv.ModeSerializable)
+	w := workload.GenerateMT(workload.MTConfig{
+		Sessions: 6, Txns: 40, Objects: 20, Dist: workload.Uniform, Seed: 5,
+	})
+	h := runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := polygraph.Build(h)
+		sat.SolveAcyclic(p.N, p.Known, p.Cons)
+	}
+}
+
+// BenchmarkAblationUniqueValues contrasts the linear MTC check with the
+// exponential brute-force search required once unique values are dropped
+// (Appendix C).
+func BenchmarkAblationUniqueValuesLinear(b *testing.B) {
+	h := history.SerialHistory(12, "x", "y")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CheckSER(h)
+	}
+}
+
+func BenchmarkAblationNoUniqueValuesBrute(b *testing.B) {
+	h := history.SerialHistory(12, "x", "y")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		npc.SerializableBrute(h)
+	}
+}
+
+// --- Experiment harness smoke bench ---------------------------------------------
+
+func BenchmarkHarnessFig7aTiny(b *testing.B) {
+	e := bench.ByID("fig7a")
+	for i := 0; i < b.N; i++ {
+		e.Run(0.05)
+	}
+}

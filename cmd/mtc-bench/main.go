@@ -1,0 +1,57 @@
+// Command mtc-bench regenerates the paper's tables and figures on the
+// simulated substrate. Each experiment prints the same series the paper
+// plots; compare shapes, not absolute numbers.
+//
+// Usage:
+//
+//	mtc-bench -list
+//	mtc-bench -experiment fig7a [-scale 1.0]
+//	mtc-bench -experiment all   [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtc/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "", "experiment id (e.g. fig7a, table2, all)")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default laptop-sized)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "mtc-bench: -experiment required (or -list); try -experiment all")
+		os.Exit(2)
+	}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		rows := e.Run(*scale)
+		fmt.Print(bench.Format(e.ID, e.Title, rows))
+		fmt.Printf("-- %s completed in %.1fs --\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e := bench.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "mtc-bench: unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(*e)
+}

@@ -1,0 +1,28 @@
+// Command mtc-serve exposes MTC as checking-as-a-service over HTTP — the
+// IsoVista integration the paper lists as future work (Section VII). It
+// accepts histories as JSON and returns verdicts with counterexamples.
+//
+//	mtc-serve -addr :8080
+//
+//	POST /check?level=SI        body: history JSON    -> verdict JSON
+//	POST /check?level=SER&checker=cobra               -> verdict JSON
+//	GET  /fixtures                                    -> the 14 anomaly names
+//	GET  /fixtures/{name}?level=SER                   -> verdict on a fixture
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"mtc/internal/mtcserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{Addr: *addr, Handler: mtcserve.Handler()}
+	log.Printf("mtc-serve listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,100 @@
+// Command mtc-verify checks a saved history file against an isolation
+// level using any of the implemented checkers.
+//
+// Examples:
+//
+//	mtc-verify -level SI history.json
+//	mtc-verify -level SER -checker cobra -format text history.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtc/internal/cobra"
+	"mtc/internal/core"
+	"mtc/internal/elle"
+	"mtc/internal/history"
+	"mtc/internal/polysi"
+)
+
+func main() {
+	var (
+		level   = flag.String("level", "SI", "isolation level: SSER, SER or SI")
+		checker = flag.String("checker", "mtc", "checker: mtc, cobra, polysi, elle-wr")
+		format  = flag.String("format", "json", "history file format: json or text")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mtc-verify [-level L] [-checker C] <history-file>")
+		os.Exit(2)
+	}
+
+	var (
+		h   *history.History
+		err error
+	)
+	switch *format {
+	case "json":
+		h, err = history.LoadFile(flag.Arg(0))
+	case "text":
+		var f *os.File
+		f, err = os.Open(flag.Arg(0))
+		if err == nil {
+			defer f.Close()
+			h, err = history.ReadText(f)
+		}
+	default:
+		fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatalf("load: %v", err)
+	}
+
+	lvl := core.Level(*level)
+	ok := false
+	switch *checker {
+	case "mtc":
+		r := core.Check(h, lvl)
+		fmt.Println(r.Explain())
+		ok = r.OK
+	case "cobra":
+		if lvl != core.SER {
+			fatalf("cobra checks SER only")
+		}
+		r := cobra.CheckSER(h)
+		fmt.Printf("cobra: OK=%v constraints=%d forced=%d residual=%d decisions=%d\n",
+			r.OK, r.Constraints, r.Forced, r.Residual, r.Solver.Decisions)
+		ok = r.OK
+	case "polysi":
+		if lvl != core.SI {
+			fatalf("polysi checks SI only")
+		}
+		r := polysi.CheckSI(h)
+		fmt.Printf("polysi: OK=%v constraints=%d forced=%d residual=%d decisions=%d\n",
+			r.OK, r.Constraints, r.Forced, r.Residual, r.Solver.Decisions)
+		ok = r.OK
+	case "elle-wr":
+		if lvl != core.SER && lvl != core.SI {
+			fatalf("elle-wr checks SER or SI")
+		}
+		r := elle.CheckRWRegister(h, elle.Level(lvl))
+		if r.OK {
+			fmt.Printf("elle-wr: history satisfies %s\n", lvl)
+		} else {
+			fmt.Printf("elle-wr: history VIOLATES %s: %s\n", lvl, r.Reason)
+		}
+		ok = r.OK
+	default:
+		fatalf("unknown checker %q", *checker)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mtc-verify: "+format+"\n", args...)
+	os.Exit(2)
+}

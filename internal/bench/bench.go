@@ -1,0 +1,163 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section V and appendices D/E).
+// Each experiment produces the same rows/series the paper reports —
+// checker names on one axis, a workload parameter on the other, and time,
+// memory, abort-rate or bug-count values. Absolute numbers differ from the
+// paper (the substrate is an in-process simulator, not a testbed database
+// plus Java checkers on a GPU machine), but the comparative shape — who
+// wins, by roughly what factor, and how curves move with concurrency — is
+// what these experiments reproduce.
+//
+// Run experiments through cmd/mtc-bench or the testing.B wrappers in the
+// repository root's bench_test.go. The Scale knob shrinks workload sizes
+// proportionally so the full suite stays laptop-friendly.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Row is a single measured data point: one series (checker/stage), one
+// x-axis position, one value.
+type Row struct {
+	Series string
+	X      string
+	Value  float64
+	Unit   string
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string // e.g. "fig7a"
+	Title string
+	// Run executes the experiment at the given scale (1.0 = default
+	// laptop-sized parameters) and returns its rows.
+	Run func(scale float64) []Row
+}
+
+// measure runs f and returns wall-clock seconds and the allocation volume
+// in MB (the memory cost proxy for Figures 10 and 17).
+func measure(f func()) (sec float64, allocMB float64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	sec = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	allocMB = float64(after.TotalAlloc-before.TotalAlloc) / 1e6
+	return sec, allocMB
+}
+
+// scaled multiplies n by scale, with a floor of min.
+func scaled(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// Format renders rows as an aligned text table grouped by X.
+func Format(id, title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", id, title)
+	// Column per series, row per X, preserving first-appearance order.
+	var xs, series []string
+	seenX, seenS := map[string]bool{}, map[string]bool{}
+	unit := ""
+	for _, r := range rows {
+		if !seenX[r.X] {
+			seenX[r.X] = true
+			xs = append(xs, r.X)
+		}
+		if !seenS[r.Series] {
+			seenS[r.Series] = true
+			series = append(series, r.Series)
+		}
+		if unit == "" {
+			unit = r.Unit
+		}
+	}
+	val := map[string]map[string]float64{}
+	units := map[string]string{}
+	for _, r := range rows {
+		if val[r.X] == nil {
+			val[r.X] = map[string]float64{}
+		}
+		val[r.X][r.Series] = r.Value
+		units[r.Series] = r.Unit
+	}
+	w := 12
+	for _, s := range series {
+		if len(s)+2 > w {
+			w = len(s) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-24s", "x")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%*s", w, s)
+	}
+	fmt.Fprintln(&b)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-24s", x)
+		for _, s := range series {
+			if v, ok := val[x][s]; ok {
+				fmt.Fprintf(&b, "%*s", w, fmtVal(v, units[s]))
+			} else {
+				fmt.Fprintf(&b, "%*s", w, "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func fmtVal(v float64, unit string) string {
+	switch unit {
+	case "s":
+		return fmt.Sprintf("%.4fs", v)
+	case "MB":
+		return fmt.Sprintf("%.1fMB", v)
+	case "%":
+		return fmt.Sprintf("%.1f%%", v)
+	case "count", "txn":
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g%s", v, unit)
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+// IDs lists all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// sortRows orders rows by series then X for deterministic golden output.
+func sortRows(rows []Row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Series != rows[j].Series {
+			return rows[i].Series < rows[j].Series
+		}
+		return rows[i].X < rows[j].X
+	})
+}

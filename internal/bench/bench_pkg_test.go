@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"table1",
+		"fig7a", "fig7b", "fig7c", "fig7d",
+		"fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9a", "fig9b",
+		"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
+		"fig11a", "fig11b",
+		"table2",
+		"fig13a", "fig13b", "fig14a", "fig14b",
+		"fig17a", "fig17b", "fig17c", "fig17d", "fig17e", "fig17f",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("got %d experiments %v, want %d", len(ids), ids, len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+	if ByID("fig7a") == nil || ByID("nope") != nil {
+		t.Fatal("ByID lookup broken")
+	}
+}
+
+func TestTable1AllVerdictsCorrect(t *testing.T) {
+	rows := ByID("table1").Run(0.1)
+	if len(rows) != 14*3 {
+		t.Fatalf("rows = %d, want 42", len(rows))
+	}
+	for _, r := range rows {
+		if r.Value < 0 {
+			t.Fatalf("checker verdict mismatch on %s/%s", r.Series, r.X)
+		}
+	}
+	// WriteSkew must be the one SI pass.
+	for _, r := range rows {
+		if r.X == "WriteSkew" && r.Series == "SI" && r.Value != 0 {
+			t.Fatal("WriteSkew must pass SI")
+		}
+		if r.X == "WriteSkew" && r.Series == "SER" && r.Value != 1 {
+			t.Fatal("WriteSkew must violate SER")
+		}
+	}
+}
+
+func TestFig7aTinyScaleRuns(t *testing.T) {
+	rows := ByID("fig7a").Run(0.05)
+	if len(rows) != 8 { // 4 distributions x 2 series
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Value < 0 {
+			t.Fatalf("negative time %v", r)
+		}
+	}
+}
+
+func TestFig9aTinyScaleRuns(t *testing.T) {
+	rows := ByID("fig9a").Run(0.05)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFig10aTinyScaleRuns(t *testing.T) {
+	rows := ByID("fig10a").Run(0.05)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	series := map[string]bool{}
+	for _, r := range rows {
+		series[r.Series] = true
+	}
+	for _, s := range []string{"MTC gen", "MTC verify", "Cobra gen", "Cobra verify"} {
+		if !series[s] {
+			t.Fatalf("missing series %s in %v", s, series)
+		}
+	}
+}
+
+func TestFig11aTinyScaleRuns(t *testing.T) {
+	rows := ByID("fig11a").Run(0.2)
+	for _, r := range rows {
+		if r.Value < 0 || r.Value > 100 {
+			t.Fatalf("abort rate out of range: %v", r)
+		}
+	}
+}
+
+func TestTable2TinyScaleDetectsBugs(t *testing.T) {
+	rows := ByID("table2").Run(0.5)
+	detected := 0
+	for _, r := range rows {
+		if r.Series == "detected" && r.Value == 1 {
+			detected++
+		}
+	}
+	if detected < 5 {
+		t.Fatalf("only %d/6 bugs detected at scale 0.5", detected)
+	}
+}
+
+func TestFig13TinyScaleRuns(t *testing.T) {
+	rows := ByID("fig13a").Run(0.1)
+	series := map[string]bool{}
+	for _, r := range rows {
+		series[r.Series] = true
+	}
+	for _, s := range []string{"elle-append", "elle-wr", "mtc-mini"} {
+		if !series[s] {
+			t.Fatalf("missing series %s", s)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	rows := []Row{
+		{Series: "a", X: "x1", Value: 1.5, Unit: "s"},
+		{Series: "b", X: "x1", Value: 2.5, Unit: "s"},
+		{Series: "a", X: "x2", Value: 3.5, Unit: "s"},
+	}
+	out := Format("figX", "demo", rows)
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "1.5000s") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	// Missing cell renders as '-'.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cell marker:\n%s", out)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(100, 0.5, 1) != 50 || scaled(100, 0.001, 7) != 7 {
+		t.Fatal("scaled math")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	sec, mb := measure(func() {
+		_ = make([]byte, 1<<20)
+	})
+	if sec < 0 || mb < 0.5 {
+		t.Fatalf("measure = %f s, %f MB", sec, mb)
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []Row{{Series: "b", X: "2"}, {Series: "a", X: "9"}, {Series: "a", X: "1"}}
+	sortRows(rows)
+	if rows[0].Series != "a" || rows[0].X != "1" || rows[2].Series != "b" {
+		t.Fatalf("sorted: %v", rows)
+	}
+}
+
+func TestFmtValUnits(t *testing.T) {
+	cases := map[string]string{
+		fmtVal(1.5, "s"):     "1.5000s",
+		fmtVal(2.25, "MB"):   "2.2MB",
+		fmtVal(12.34, "%"):   "12.3%",
+		fmtVal(7, "count"):   "7",
+		fmtVal(7, "txn"):     "7",
+		fmtVal(3.14, "zzz"):  "3.14zzz",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Fatalf("fmtVal = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFig9bTinyScaleRuns(t *testing.T) {
+	rows := ByID("fig9b").Run(0.05)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFig11bTinyScaleRuns(t *testing.T) {
+	rows := ByID("fig11b").Run(0.25)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Value < 0 || r.Value > 100 {
+			t.Fatalf("abort rate out of range: %v", r)
+		}
+	}
+}
+
+func TestFig14TinyScaleRuns(t *testing.T) {
+	for _, id := range []string{"fig14a", "fig14b"} {
+		rows := ByID(id).Run(0.1)
+		series := map[string]bool{}
+		for _, r := range rows {
+			if r.Value < 0 {
+				t.Fatalf("%s: negative time %v", id, r)
+			}
+			series[r.Series] = true
+		}
+		for _, s := range []string{"elle-append gen", "elle-wr verify", "mtc gen", "mtc verify"} {
+			if !series[s] {
+				t.Fatalf("%s: missing series %s", id, s)
+			}
+		}
+	}
+}
+
+func TestFig17MemoryTinyScaleRuns(t *testing.T) {
+	rows := ByID("fig17d").Run(0.05)
+	for _, r := range rows {
+		if r.Value < 0 {
+			t.Fatalf("negative memory %v", r)
+		}
+	}
+}
+
+func TestFig7SweepAxesTinyScale(t *testing.T) {
+	for _, id := range []string{"fig7b", "fig7c", "fig8c"} {
+		if rows := ByID(id).Run(0.03); len(rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package cobra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/polysi"
+	"mtc/internal/runner"
+	"mtc/internal/workload"
+)
+
+func TestFixturesAgainstCobraAndPolySI(t *testing.T) {
+	for _, f := range history.Fixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			if got := CheckSER(f.H); got.OK != !f.ViolatesSER {
+				t.Errorf("cobra SER OK=%v, want %v (%+v)", got.OK, !f.ViolatesSER, got)
+			}
+			if got := polysi.CheckSI(f.H); got.OK != !f.ViolatesSI {
+				t.Errorf("polysi SI OK=%v, want %v (%+v)", got.OK, !f.ViolatesSI, got)
+			}
+		})
+	}
+}
+
+func TestSerialHistoriesPass(t *testing.T) {
+	h := history.SerialHistory(60, "x", "y", "z")
+	if r := CheckSER(h); !r.OK {
+		t.Fatalf("serial history must be SER: %+v", r)
+	}
+	if r := polysi.CheckSI(h); !r.OK {
+		t.Fatalf("serial history must be SI: %+v", r)
+	}
+}
+
+func TestPruningResolvesMTChains(t *testing.T) {
+	// On a serial MT history the RMW chains determine the entire WW
+	// order, so pruning must eliminate every constraint.
+	h := history.SerialHistory(80, "x", "y")
+	r := CheckSER(h)
+	if !r.OK {
+		t.Fatalf("%+v", r)
+	}
+	if r.Residual != 0 {
+		t.Fatalf("RMW chains should leave no residual constraints, got %d of %d", r.Residual, r.Constraints)
+	}
+}
+
+func TestBlindWritesReachSolver(t *testing.T) {
+	// Two blind writers with a reader create genuine solver work.
+	b := history.NewBuilder("x")
+	b.Txn(0, history.R("x", 0), history.W("x", 1))
+	b.Txn(1, history.R("x", 0), history.W("x", 2)) // divergence -> not SER
+	h := b.Build()
+	r := CheckSER(h)
+	if r.OK {
+		t.Fatal("divergence is not serializable")
+	}
+}
+
+func TestPreCheckRejects(t *testing.T) {
+	f := history.FixtureByName("AbortedRead")
+	r := CheckSER(f.H)
+	if r.OK || len(r.Anomalies) == 0 {
+		t.Fatalf("pre-check must reject: %+v", r)
+	}
+}
+
+// storeHistory runs an MT workload on a store and returns the history.
+func storeHistory(t *testing.T, mode kv.Mode, f kv.Faults, seed int64, objects int) *history.History {
+	t.Helper()
+	s := kv.NewFaultyStore(mode, f)
+	w := workload.GenerateMT(workload.MTConfig{
+		Sessions: 6, Txns: 40, Objects: objects, Dist: workload.Uniform,
+		Seed: seed, ReadOnlyFrac: 0.25,
+	})
+	return runner.Run(s, w, runner.Config{Retries: 5}).H
+}
+
+func TestPropertyCobraAgreesWithMTCSEROnStoreHistories(t *testing.T) {
+	f := func(seed int64) bool {
+		h := storeHistory(t, kv.ModeSerializable, kv.Faults{}, seed, 4)
+		mtc := core.CheckSER(h)
+		cob := CheckSER(h)
+		if mtc.OK != cob.OK {
+			t.Logf("seed=%d MTC=%v cobra=%v\n%s", seed, mtc.OK, cob.OK, mtc.Explain())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCobraAgreesOnFaultyHistories(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		faults := kv.Faults{Seed: seed + 1}
+		switch rng.Intn(3) {
+		case 0:
+			faults.WriteSkew = 0.5
+		case 1:
+			faults.LostUpdate = 0.5
+		case 2:
+			faults.LongFork = 0.3
+		}
+		h := storeHistory(t, kv.ModeSerializable, faults, seed, 2)
+		mtc := core.CheckSER(h)
+		cob := CheckSER(h)
+		if mtc.OK != cob.OK {
+			t.Logf("seed=%d faults=%+v MTC=%v cobra=%v\n%s", seed, faults, mtc.OK, cob.OK, mtc.Explain())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPolySIAgreesWithMTCSI(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		faults := kv.Faults{Seed: seed + 1}
+		mode := kv.ModeSI
+		switch rng.Intn(4) {
+		case 0:
+			faults.LostUpdate = 0.5
+		case 1:
+			faults.DirtyAbort = 0.2
+		case 2:
+			faults.StaleSnapshot = 0.4
+		case 3:
+			// fault-free SI
+		}
+		h := storeHistory(t, mode, faults, seed, 3)
+		mtc := core.CheckSI(h)
+		psi := polysi.CheckSI(h)
+		if mtc.OK != psi.OK {
+			t.Logf("seed=%d faults=%+v MTC=%v polysi=%v\n%s", seed, faults, mtc.OK, psi.OK, mtc.Explain())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWriteSkewHistoriesSIButNotSER(t *testing.T) {
+	// SI-mode store histories: polysi must accept; cobra may reject when
+	// a write skew occurred. Whenever cobra rejects, MTC-SER must too.
+	f := func(seed int64) bool {
+		h := storeHistory(t, kv.ModeSI, kv.Faults{}, seed, 2)
+		if !polysi.CheckSI(h).OK {
+			t.Logf("seed=%d: fault-free SI store violated SI per polysi", seed)
+			return false
+		}
+		return CheckSER(h).OK == core.CheckSER(h).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

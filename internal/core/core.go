@@ -1,0 +1,431 @@
+// Package core implements the paper's primary contribution: the MTC
+// verification algorithms for strong isolation levels over mini-transaction
+// histories (Section IV).
+//
+//   - BuildDependency constructs the (nearly unique) dependency graph of an
+//     MT history in O(n), exploiting the read-modify-write pattern and
+//     unique values (Algorithm 1, with the Section IV-C optimization that
+//     drops the WW transitive-closure step).
+//   - CheckSER and CheckSI decide serializability and snapshot isolation in
+//     Θ(n); CheckSI detects the DIVERGENCE pattern early (Definition 10).
+//   - CheckSSER decides strict serializability in Θ(n²) by enumerating the
+//     real-time order, with an optional sparse time-chain encoding that
+//     brings the graph back to O(n log n) work (an ablation the paper
+//     leaves implicit).
+//   - VLLWT (in lwt.go) verifies linearizability of lightweight-transaction
+//     histories in expected O(n) time (Algorithm 2).
+//
+// All checkers are sound and complete for MT histories with unique values;
+// they pre-check the intra-transactional and G1 anomalies of Figure 5a-5g
+// exactly as footnote 1 of the paper prescribes.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtc/internal/graph"
+	"mtc/internal/history"
+)
+
+// Level names a strong isolation level checked by this package.
+type Level string
+
+// The supported isolation levels.
+const (
+	SSER Level = "SSER" // strict serializability
+	SER  Level = "SER"  // serializability
+	SI   Level = "SI"   // snapshot isolation
+)
+
+// Divergence is a witness of the DIVERGENCE pattern (Definition 10): two
+// distinct committed transactions Reader1 and Reader2 both read the value
+// of Key written by Writer and then write different values to Key.
+type Divergence struct {
+	Key              history.Key
+	Writer           int
+	Reader1, Reader2 int
+}
+
+// String renders the witness.
+func (d Divergence) String() string {
+	return fmt.Sprintf("DIVERGENCE on %s: T%d and T%d both read T%d's write and update it",
+		d.Key, d.Reader1, d.Reader2, d.Writer)
+}
+
+// Result is the verdict of a checker run, with a counterexample when the
+// history violates the level.
+type Result struct {
+	Level     Level
+	OK        bool
+	Anomalies []history.Anomaly // non-empty iff the pre-check failed
+	Divergence *Divergence      // non-nil iff CheckSI rejected via Definition 10
+	Cycle     []graph.Edge      // non-empty iff a forbidden cycle was found
+	// Stats, filled on every run.
+	NumTxns  int
+	NumEdges int
+}
+
+// Explain renders a human-readable account of the verdict.
+func (r Result) Explain() string {
+	var b strings.Builder
+	if r.OK {
+		fmt.Fprintf(&b, "history satisfies %s (%d txns, %d dependency edges)", r.Level, r.NumTxns, r.NumEdges)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "history VIOLATES %s:", r.Level)
+	const maxShown = 5
+	for i, a := range r.Anomalies {
+		if i == maxShown {
+			fmt.Fprintf(&b, "\n  ... and %d more anomalies", len(r.Anomalies)-maxShown)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", a)
+	}
+	if r.Divergence != nil {
+		fmt.Fprintf(&b, "\n  %s", *r.Divergence)
+	}
+	if len(r.Cycle) > 0 {
+		fmt.Fprintf(&b, "\n  cycle: %s", graph.FormatCycle(r.Cycle))
+	}
+	return b.String()
+}
+
+// Options tunes a checker run.
+type Options struct {
+	// SkipPreCheck disables the CheckInternal pre-pass. Only use on
+	// histories already known to satisfy INT and unique values.
+	SkipPreCheck bool
+	// SparseRT makes CheckSSER encode the real-time order with a sorted
+	// time chain (O(n log n)) instead of the paper's Θ(n²) enumeration.
+	SparseRT bool
+}
+
+// txnView caches the per-transaction read/write summaries so that graph
+// construction does not recompute them.
+type txnView struct {
+	reads  map[history.Key]history.Value
+	writes map[history.Key]history.Value
+}
+
+func buildViews(h *history.History) []txnView {
+	views := make([]txnView, len(h.Txns))
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		if !t.Committed {
+			continue
+		}
+		views[i] = txnView{reads: t.Reads(), writes: t.Writes()}
+	}
+	return views
+}
+
+// BuildDependency constructs the dependency graph of an MT history
+// following the optimized Algorithm 1: WR edges are fixed by unique
+// values, WW edges are inferred from WR when the reader also writes the
+// object (the RMW pattern), and RW edges are derived from WR and WW. No
+// WW transitive closure is computed (Theorems 1 and 2). When withRT is
+// true the dense Θ(n²) real-time edges are added as well.
+//
+// The second return value lists every DIVERGENCE witness found while
+// inferring WW edges; CheckSI uses it for its early exit, and the other
+// checkers ignore it (Lemma 3 handles those cases through cycles).
+func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergence) {
+	views := buildViews(h)
+	idx, _ := history.BuildWriterIndex(h)
+	g := graph.New(len(h.Txns))
+
+	if withRT {
+		h.RealTimeOrder(func(a, b int) {
+			g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.RT})
+		})
+	}
+	h.SessionOrder(func(a, b int) {
+		g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.SO})
+	})
+
+	// WR and inferred WW edges, grouped by writer for RW derivation.
+	// wrOut[w] lists (key, reader); wwOut[w] lists (key, overwriter).
+	type dep struct {
+		key history.Key
+		to  int
+	}
+	wrOut := make([][]dep, len(h.Txns))
+	wwOut := make([][]dep, len(h.Txns))
+	var divs []Divergence
+	// divSeen tracks, per (writer,key), the first RMW reader, to report
+	// divergence when a second one appears.
+	type wk struct {
+		w int
+		k history.Key
+	}
+	firstRMW := make(map[wk]int)
+
+	for s := range h.Txns {
+		if !h.Txns[s].Committed {
+			continue
+		}
+		// Deterministic key order for reproducible graphs.
+		keys := make([]history.Key, 0, len(views[s].reads))
+		for x := range views[s].reads {
+			keys = append(keys, x)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, x := range keys {
+			v := views[s].reads[x]
+			w := idx.Writer(x, v)
+			if w < 0 || w == s {
+				continue // pre-check reports these; stay robust here
+			}
+			g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WR, Obj: string(x)})
+			wrOut[w] = append(wrOut[w], dep{key: x, to: s})
+			if _, writes := views[s].writes[x]; writes {
+				g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WW, Obj: string(x)})
+				wwOut[w] = append(wwOut[w], dep{key: x, to: s})
+				if prev, ok := firstRMW[wk{w, x}]; ok {
+					divs = append(divs, Divergence{Key: x, Writer: w, Reader1: prev, Reader2: s})
+				} else {
+					firstRMW[wk{w, x}] = s
+				}
+			}
+		}
+	}
+
+	// RW edges: T' -WR(x)-> T and T' -WW(x)-> S with T != S gives
+	// T -RW(x)-> S (lines 14-15 of BuildDependency).
+	for w := range h.Txns {
+		if len(wrOut[w]) == 0 || len(wwOut[w]) == 0 {
+			continue
+		}
+		for _, r := range wrOut[w] {
+			for _, o := range wwOut[w] {
+				if o.key != r.key || o.to == r.to {
+					continue
+				}
+				g.AddEdge(graph.Edge{From: r.to, To: o.to, Kind: graph.RW, Obj: string(r.key)})
+			}
+		}
+	}
+	return g, divs
+}
+
+// preCheck runs CheckInternal unless disabled, returning a failed Result
+// or nil.
+func preCheck(h *history.History, lvl Level, opts Options) *Result {
+	if opts.SkipPreCheck {
+		return nil
+	}
+	if as := history.CheckInternal(h); len(as) > 0 {
+		return &Result{Level: lvl, OK: false, Anomalies: as, NumTxns: len(h.Txns)}
+	}
+	return nil
+}
+
+// CheckSER decides serializability (Definition 5) in Θ(n): the history
+// satisfies SER iff the pre-check passes and SO ∪ WR ∪ WW ∪ RW is acyclic.
+func CheckSER(h *history.History) Result { return CheckSEROpt(h, Options{}) }
+
+// CheckSEROpt is CheckSER with options.
+func CheckSEROpt(h *history.History, opts Options) Result {
+	if r := preCheck(h, SER, opts); r != nil {
+		return *r
+	}
+	g, _ := BuildDependency(h, false)
+	res := Result{Level: SER, NumTxns: len(h.Txns), NumEdges: g.NumEdges()}
+	if cycle := g.FindCycle(); cycle != nil {
+		res.Cycle = cycle
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+// CheckSSER decides strict serializability (Definition 4): like CheckSER
+// but with the real-time order included, Θ(n²) with the dense encoding of
+// the paper or O((n+m) log n) with Options.SparseRT.
+func CheckSSER(h *history.History) Result { return CheckSSEROpt(h, Options{}) }
+
+// CheckSSEROpt is CheckSSER with options.
+func CheckSSEROpt(h *history.History, opts Options) Result {
+	if r := preCheck(h, SSER, opts); r != nil {
+		return *r
+	}
+	var g *graph.Graph
+	if opts.SparseRT {
+		base, _ := BuildDependency(h, false)
+		g = addSparseRT(h, base)
+	} else {
+		g, _ = BuildDependency(h, true)
+	}
+	res := Result{Level: SSER, NumTxns: len(h.Txns), NumEdges: g.NumEdges()}
+	if cycle := g.FindCycle(); cycle != nil {
+		res.Cycle = compressAux(cycle)
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+// CheckSI decides snapshot isolation (Definition 6) in Θ(n): reject on any
+// DIVERGENCE witness (Lemma 1), otherwise check acyclicity of the induced
+// graph (SO ∪ WR ∪ WW) ; RW?.
+func CheckSI(h *history.History) Result { return CheckSIOpt(h, Options{}) }
+
+// CheckSIOpt is CheckSI with options.
+func CheckSIOpt(h *history.History, opts Options) Result {
+	if r := preCheck(h, SI, opts); r != nil {
+		return *r
+	}
+	g, divs := BuildDependency(h, false)
+	res := Result{Level: SI, NumTxns: len(h.Txns), NumEdges: g.NumEdges()}
+	if len(divs) > 0 {
+		res.Divergence = &divs[0]
+		return res
+	}
+	gi, expand := induceSI(g)
+	if cycle := gi.FindCycle(); cycle != nil {
+		res.Cycle = expandComposed(cycle, expand)
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+// composedKey identifies a composed edge for counterexample expansion.
+type composedKey struct{ from, to int }
+
+// induceSI builds G' = (V, (SO ∪ WR ∪ WW) ; RW?) from the dependency
+// graph. It returns the induced graph and a witness map that expands each
+// composed edge back into its base and RW constituents for reporting.
+func induceSI(g *graph.Graph) (*graph.Graph, map[composedKey][]graph.Edge) {
+	gi := graph.New(g.Len())
+	expand := make(map[composedKey][]graph.Edge)
+	for u := 0; u < g.Len(); u++ {
+		for _, e := range g.Out(u) {
+			if e.Kind == graph.RW {
+				continue
+			}
+			// Identity part of RW?: keep the base edge itself.
+			gi.AddEdge(e)
+			// Composition part: base ; RW.
+			for _, rw := range g.Out(e.To) {
+				if rw.Kind != graph.RW {
+					continue
+				}
+				ck := composedKey{from: u, to: rw.To}
+				if _, dup := expand[ck]; !dup {
+					expand[ck] = []graph.Edge{e, rw}
+				}
+				gi.AddEdge(graph.Edge{From: u, To: rw.To, Kind: graph.AUX, Obj: "(;RW)"})
+			}
+		}
+	}
+	return gi, expand
+}
+
+// expandComposed rewrites a cycle of G' into the underlying dependency
+// edges so that counterexamples read like the paper's figures.
+func expandComposed(cycle []graph.Edge, expand map[composedKey][]graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range cycle {
+		if e.Kind == graph.AUX {
+			if w, ok := expand[composedKey{e.From, e.To}]; ok {
+				out = append(out, w...)
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// addSparseRT adds an O(n log n) encoding of the real-time order to the
+// base dependency graph: a time chain of start/finish events with AUX
+// edges T -> finish(T) and start(S) -> S, so that a path T ~> S through
+// the chain exists iff finish(T) < start(S). The returned graph has
+// 2n extra nodes; transaction nodes keep their IDs.
+func addSparseRT(h *history.History, base *graph.Graph) *graph.Graph {
+	type event struct {
+		time    int64
+		isStart bool
+		txn     int
+	}
+	var events []event
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		if !t.Committed || t.Start == 0 && t.Finish == 0 {
+			continue
+		}
+		events = append(events, event{time: t.Start, isStart: true, txn: i})
+		events = append(events, event{time: t.Finish, isStart: false, txn: i})
+	}
+	// Starts sort before finishes at equal timestamps so that
+	// finish(T) == start(S) does NOT yield an RT path (RT is strict).
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return events[i].isStart && !events[j].isStart
+	})
+	n := base.Len()
+	g := graph.New(n + len(events))
+	for u := 0; u < n; u++ {
+		for _, e := range base.Out(u) {
+			g.AddEdge(e)
+		}
+	}
+	for i, ev := range events {
+		node := n + i
+		if i+1 < len(events) {
+			g.AddEdge(graph.Edge{From: node, To: node + 1, Kind: graph.AUX})
+		}
+		if ev.isStart {
+			g.AddEdge(graph.Edge{From: node, To: ev.txn, Kind: graph.AUX, Obj: "start"})
+		} else {
+			g.AddEdge(graph.Edge{From: ev.txn, To: node, Kind: graph.AUX, Obj: "finish"})
+		}
+	}
+	return g
+}
+
+// compressAux rewrites a cycle that may traverse the sparse time chain,
+// collapsing every AUX run T -> finish ... start -> S into a single RT
+// edge so counterexamples stay readable.
+func compressAux(cycle []graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	i := 0
+	for i < len(cycle) {
+		e := cycle[i]
+		if e.Kind != graph.AUX {
+			out = append(out, e)
+			i++
+			continue
+		}
+		// e enters the chain from transaction e.From; scan to the exit.
+		from := e.From
+		j := i
+		for j < len(cycle) && cycle[j].Kind == graph.AUX {
+			j++
+		}
+		// cycle[j-1] leaves the chain into a transaction node.
+		to := cycle[j-1].To
+		out = append(out, graph.Edge{From: from, To: to, Kind: graph.RT})
+		i = j
+	}
+	return out
+}
+
+// Check dispatches on the level name.
+func Check(h *history.History, lvl Level) Result {
+	switch lvl {
+	case SSER:
+		return CheckSSER(h)
+	case SER:
+		return CheckSER(h)
+	case SI:
+		return CheckSI(h)
+	default:
+		panic(fmt.Sprintf("core: unknown level %q", lvl))
+	}
+}

@@ -1,0 +1,115 @@
+// Package faults catalogues the production isolation bugs of Table II as
+// reproducible fault-injection presets over the kv substrate. Each Bug
+// names the database release the paper tested, the isolation level that
+// release claimed, the anomaly the bug produces, and the kv.Faults
+// configuration that reintroduces the behaviour. The bench harness and
+// the bughunt example iterate this catalogue to regenerate Table II and
+// Figures 12/18.
+package faults
+
+import (
+	"mtc/internal/core"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+)
+
+// Bug is one reproducible production bug.
+type Bug struct {
+	// Name identifies the database release, e.g. "mariadb-galera-10.7.3".
+	Name string
+	// Anomaly is the data anomaly the bug produces (Table II column 2).
+	Anomaly string
+	// Claimed is the isolation level the release advertised and violates.
+	Claimed core.Level
+	// Mode is the concurrency-control mode of the substrate standing in
+	// for the release.
+	Mode kv.Mode
+	// Faults is the injection preset.
+	Faults kv.Faults
+	// LWT marks the Cassandra-style bug exercised through lightweight
+	// transactions rather than general transactions.
+	LWT bool
+	// Report references the public bug report the paper cites.
+	Report string
+}
+
+// Bugs returns the six rediscovered bugs of Table II.
+func Bugs() []Bug {
+	return []Bug{
+		{
+			Name:    "mariadb-galera-10.7.3",
+			Anomaly: "LostUpdate",
+			Claimed: core.SI,
+			Mode:    kv.ModeSI,
+			Faults:  kv.Faults{LostUpdate: 0.4},
+			Report:  "github.com/codership/galera issue #609",
+		},
+		{
+			Name:    "mongodb-4.2.6",
+			Anomaly: "AbortedRead",
+			Claimed: core.SI,
+			Mode:    kv.ModeSI,
+			Faults:  kv.Faults{DirtyAbort: 0.2},
+			Report:  "jepsen.io/analyses/mongodb-4.2.6",
+		},
+		{
+			Name:    "dgraph-1.1.1",
+			Anomaly: "CausalityViolation",
+			Claimed: core.SI,
+			Mode:    kv.ModeSI,
+			Faults:  kv.Faults{StaleSnapshot: 0.3},
+			Report:  "jepsen.io/analyses/dgraph-1.1.1",
+		},
+		{
+			Name:    "postgresql-12.3",
+			Anomaly: "WriteSkew",
+			Claimed: core.SER,
+			Mode:    kv.ModeSerializable,
+			Faults:  kv.Faults{WriteSkew: 0.5},
+			Report:  "jepsen.io/analyses/postgresql-12.3",
+		},
+		{
+			Name:    "postgresql-11.8",
+			Anomaly: "LongFork",
+			Claimed: core.SER,
+			Mode:    kv.ModeSerializable,
+			Faults:  kv.Faults{LongFork: 0.3},
+			Report:  "postgresql commit 5940ffb2 / jepsen postgresql-12.3 analysis",
+		},
+		{
+			Name:    "cassandra-2.0.1",
+			Anomaly: "AbortedRead",
+			Claimed: core.SSER,
+			Mode:    kv.ModeSI,
+			Faults:  kv.Faults{CASFailApply: 0.3},
+			LWT:     true,
+			Report:  "aphyr.com/posts/294-call-me-maybe-cassandra",
+		},
+	}
+}
+
+// BugByName returns the named bug preset, or nil.
+func BugByName(name string) *Bug {
+	for _, b := range Bugs() {
+		if b.Name == name {
+			b := b
+			return &b
+		}
+	}
+	return nil
+}
+
+// NewStore builds a fresh faulty store for the bug with the given PRNG
+// seed.
+func (b Bug) NewStore(seed int64) *kv.Store {
+	f := b.Faults
+	f.Seed = seed
+	return kv.NewFaultyStore(b.Mode, f)
+}
+
+// CheckHistory verifies h against the bug's claimed level and reports
+// whether the bug manifested (the claimed level is violated).
+func (b Bug) CheckHistory(h *history.History) (core.Result, bool) {
+	r := core.Check(h, b.Claimed)
+	return r, !r.OK
+}

@@ -1,0 +1,241 @@
+package history
+
+import "fmt"
+
+// AnomalyKind enumerates the intra-transactional and G1 anomalies that the
+// MTC pipeline pre-checks before building the dependency graph (footnote 1
+// of the paper and Figure 5a-5g).
+type AnomalyKind uint8
+
+// The pre-checked anomaly kinds.
+const (
+	ThinAirRead        AnomalyKind = iota // reads a value nobody wrote
+	AbortedRead                           // reads a value written only by an aborted txn (G1a)
+	FutureRead                            // reads its own later write
+	NotMyLastWrite                        // reads its own earlier, overwritten write
+	NotMyOwnWrite                         // reads another txn's value after writing the object
+	IntermediateRead                      // reads a non-final write of another txn (G1b)
+	NonRepeatableReads                    // two reads of the same object differ
+	DuplicateWrite                        // unique-value assumption violated (Definition 9)
+)
+
+// String returns the anomaly's conventional name.
+func (k AnomalyKind) String() string {
+	switch k {
+	case ThinAirRead:
+		return "ThinAirRead"
+	case AbortedRead:
+		return "AbortedRead"
+	case FutureRead:
+		return "FutureRead"
+	case NotMyLastWrite:
+		return "NotMyLastWrite"
+	case NotMyOwnWrite:
+		return "NotMyOwnWrite"
+	case IntermediateRead:
+		return "IntermediateRead"
+	case NonRepeatableReads:
+		return "NonRepeatableReads"
+	case DuplicateWrite:
+		return "DuplicateWrite"
+	default:
+		return fmt.Sprintf("AnomalyKind(%d)", uint8(k))
+	}
+}
+
+// Anomaly is one detected pre-check violation.
+type Anomaly struct {
+	Kind  AnomalyKind
+	Txn   int // offending transaction ID
+	Key   Key
+	Value Value
+}
+
+// String renders the anomaly with its location.
+func (a Anomaly) String() string {
+	op := "R"
+	if a.Kind == DuplicateWrite {
+		op = "W"
+	}
+	return fmt.Sprintf("%s in T%d on %s(%s,%d)", a.Kind, a.Txn, op, a.Key, a.Value)
+}
+
+// CheckInternal detects every intra-transactional anomaly (Figure 5c-5g),
+// the G1a/G1b external anomalies (AbortedRead, IntermediateRead),
+// ThinAirRead, and unique-value violations in the history. A history with
+// no reported anomalies satisfies the INT axiom of Section II-D, every
+// external read has a unique committed writer, and the unique-value
+// assumption holds, so dependency-graph construction is well defined.
+//
+// Only committed transactions are inspected for read anomalies; writes of
+// aborted transactions matter only as AbortedRead sources.
+func CheckInternal(h *History) []Anomaly {
+	idx, dups := BuildWriterIndex(h)
+	var out []Anomaly
+	for _, op := range dups {
+		out = append(out, Anomaly{Kind: DuplicateWrite, Key: op.Key, Value: op.Value, Txn: idx.Writer(op.Key, op.Value)})
+	}
+
+	// Index of values written by aborted transactions, for G1a.
+	aborted := make(map[Key]map[Value]int)
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		if t.Committed {
+			continue
+		}
+		for _, op := range t.Ops {
+			if op.Kind != OpWrite {
+				continue
+			}
+			m := aborted[op.Key]
+			if m == nil {
+				m = make(map[Value]int)
+				aborted[op.Key] = m
+			}
+			m[op.Value] = i
+		}
+	}
+
+	// Cache each committed transaction's final write map: G1b checks
+	// consult the writer's map per read, and rebuilding it per read is
+	// quadratic against wide transactions like ⊥T.
+	finalWrites := make([]map[Key]Value, len(h.Txns))
+	writesOf := func(id int) map[Key]Value {
+		if finalWrites[id] == nil {
+			finalWrites[id] = h.Txns[id].Writes()
+		}
+		return finalWrites[id]
+	}
+
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		if !t.Committed {
+			continue
+		}
+		out = append(out, checkTxnInternal(idx, aborted, writesOf, t)...)
+	}
+	return out
+}
+
+// checkTxnInternal walks one transaction's operations in program order,
+// classifying each read.
+func checkTxnInternal(idx WriterIndex, aborted map[Key]map[Value]int, writesOf func(int) map[Key]Value, t *Txn) []Anomaly {
+	var out []Anomaly
+	lastWrite := map[Key]Value{}    // last value this txn wrote per key
+	wroteValues := map[Op]bool{}    // every (key,value) this txn wrote so far
+	futureWrites := map[Op]int{}    // writes later in program order -> count
+	firstExtRead := map[Key]Value{} // first external read per key
+	for _, op := range t.Ops {
+		if op.Kind == OpWrite {
+			futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}]++
+		}
+	}
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case OpWrite:
+			lastWrite[op.Key] = op.Value
+			wroteValues[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] = true
+			futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}]--
+			if futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] == 0 {
+				delete(futureWrites, Op{Kind: OpWrite, Key: op.Key, Value: op.Value})
+			}
+		case OpRead:
+			if v, wrote := lastWrite[op.Key]; wrote {
+				// The transaction has already written the object: INT
+				// requires the read to return the last such write.
+				if op.Value == v {
+					continue
+				}
+				if wroteValues[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] {
+					out = append(out, Anomaly{Kind: NotMyLastWrite, Txn: t.ID, Key: op.Key, Value: op.Value})
+				} else {
+					out = append(out, Anomaly{Kind: NotMyOwnWrite, Txn: t.ID, Key: op.Key, Value: op.Value})
+				}
+				continue
+			}
+			// External read (no own write yet). Repeated external reads of
+			// the same object must agree.
+			if prev, seen := firstExtRead[op.Key]; seen {
+				if prev != op.Value {
+					out = append(out, Anomaly{Kind: NonRepeatableReads, Txn: t.ID, Key: op.Key, Value: op.Value})
+				}
+				continue
+			}
+			firstExtRead[op.Key] = op.Value
+			// A read of a value this transaction writes later is a
+			// FutureRead, checked before external matching so that
+			// single-transaction histories classify correctly.
+			if futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] > 0 {
+				out = append(out, Anomaly{Kind: FutureRead, Txn: t.ID, Key: op.Key, Value: op.Value})
+				continue
+			}
+			writer := idx.Writer(op.Key, op.Value)
+			if writer == t.ID {
+				// Reading an own write that already happened is handled by
+				// the lastWrite branch; reaching here means the writer
+				// index matched this transaction but program order did
+				// not, which the FutureRead branch covers. Defensive only.
+				continue
+			}
+			if writer >= 0 {
+				// Reads of a non-final value of the writer are G1b.
+				if last, ok := writesOf(writer)[op.Key]; ok && last != op.Value {
+					out = append(out, Anomaly{Kind: IntermediateRead, Txn: t.ID, Key: op.Key, Value: op.Value})
+				}
+				continue
+			}
+			if m, ok := aborted[op.Key]; ok {
+				if _, ok := m[op.Value]; ok {
+					out = append(out, Anomaly{Kind: AbortedRead, Txn: t.ID, Key: op.Key, Value: op.Value})
+					continue
+				}
+			}
+			out = append(out, Anomaly{Kind: ThinAirRead, Txn: t.ID, Key: op.Key, Value: op.Value})
+		}
+	}
+	return out
+}
+
+// IsMiniTransaction reports whether t meets Definition 8: at most two
+// reads, at most two writes, at least one read, and every write preceded
+// (not necessarily immediately) by a read of the same object.
+func IsMiniTransaction(t *Txn) bool {
+	reads, writes := 0, 0
+	readKeys := map[Key]bool{}
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case OpRead:
+			reads++
+			readKeys[op.Key] = true
+		case OpWrite:
+			writes++
+			if !readKeys[op.Key] {
+				return false
+			}
+		}
+	}
+	return reads >= 1 && reads <= 2 && writes <= 2
+}
+
+// ValidateMT checks Definition 9: every transaction except the initial one
+// is a mini-transaction, and writes use unique values. It returns a
+// descriptive error for the first violation found.
+func ValidateMT(h *History) error {
+	for i := range h.Txns {
+		if h.HasInit && i == 0 {
+			continue
+		}
+		if !h.Txns[i].Committed {
+			// Aborted attempts may have been cut short mid-transaction;
+			// their shape does not affect verification.
+			continue
+		}
+		if !IsMiniTransaction(&h.Txns[i]) {
+			return fmt.Errorf("history: T%d is not a mini-transaction: %s", i, h.Txns[i].String())
+		}
+	}
+	if _, dups := BuildWriterIndex(h); len(dups) > 0 {
+		return fmt.Errorf("history: duplicate write of (%s,%d) violates unique values", dups[0].Key, dups[0].Value)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package history
+
+// Builder assembles histories programmatically. It is used by the anomaly
+// fixtures, the tests, and the synthetic generators. Transactions are
+// appended per session; the builder assigns IDs and session lists.
+type Builder struct {
+	h       History
+	hasInit bool
+}
+
+// NewBuilder returns a builder. When initKeys is non-empty, transaction 0
+// becomes the special initial transaction ⊥T writing value 0 to each of
+// the given keys.
+func NewBuilder(initKeys ...Key) *Builder {
+	b := &Builder{}
+	if len(initKeys) > 0 {
+		ops := make([]Op, len(initKeys))
+		for i, k := range initKeys {
+			ops[i] = Op{Kind: OpWrite, Key: k, Value: 0}
+		}
+		b.h.Txns = append(b.h.Txns, Txn{ID: 0, Session: -1, Ops: ops, Committed: true})
+		b.h.HasInit = true
+		b.hasInit = true
+	}
+	return b
+}
+
+// ensureSession grows the session table to include session s.
+func (b *Builder) ensureSession(s int) {
+	for len(b.h.Sessions) <= s {
+		b.h.Sessions = append(b.h.Sessions, nil)
+	}
+}
+
+// Txn appends a committed transaction with the given operations to session
+// s and returns its ID.
+func (b *Builder) Txn(s int, ops ...Op) int {
+	return b.add(s, true, 0, 0, ops)
+}
+
+// AbortedTxn appends an aborted transaction to session s.
+func (b *Builder) AbortedTxn(s int, ops ...Op) int {
+	return b.add(s, false, 0, 0, ops)
+}
+
+// TimedTxn appends a committed transaction with explicit start and finish
+// timestamps (for histories that exercise the real-time order).
+func (b *Builder) TimedTxn(s int, start, finish int64, ops ...Op) int {
+	return b.add(s, true, start, finish, ops)
+}
+
+// TimedAbortedTxn appends an aborted transaction with explicit timestamps.
+func (b *Builder) TimedAbortedTxn(s int, start, finish int64, ops ...Op) int {
+	return b.add(s, false, start, finish, ops)
+}
+
+func (b *Builder) add(s int, committed bool, start, finish int64, ops []Op) int {
+	b.ensureSession(s)
+	id := len(b.h.Txns)
+	b.h.Txns = append(b.h.Txns, Txn{
+		ID: id, Session: s, Ops: ops,
+		Start: start, Finish: finish, Committed: committed,
+	})
+	b.h.Sessions[s] = append(b.h.Sessions[s], id)
+	return id
+}
+
+// Build returns the assembled history. The builder must not be reused
+// afterwards.
+func (b *Builder) Build() *History { return &b.h }
+
+// R constructs a read operation.
+func R(k Key, v Value) Op { return Op{Kind: OpRead, Key: k, Value: v} }
+
+// W constructs a write operation.
+func W(k Key, v Value) Op { return Op{Kind: OpWrite, Key: k, Value: v} }

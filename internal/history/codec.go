@@ -1,0 +1,165 @@
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON serializes the history as indented JSON.
+func WriteJSON(w io.Writer, h *History) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(h)
+}
+
+// ReadJSON parses a history written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*History, error) {
+	var h History
+	if err := json.NewDecoder(r).Decode(&h); err != nil {
+		return nil, fmt.Errorf("history: decode: %w", err)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// SaveFile writes the history to path as JSON.
+func SaveFile(path string, h *History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := WriteJSON(bw, h); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a JSON history from path.
+func LoadFile(path string) (*History, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(bufio.NewReader(f))
+}
+
+// WriteText emits the compact line-oriented text format:
+//
+//	txn <id> s<session> <start> <finish> <C|A>
+//	r <key> <value>
+//	w <key> <value>
+//
+// The init transaction, if present, is written first with session -1.
+func WriteText(w io.Writer, h *History) error {
+	bw := bufio.NewWriter(w)
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		status := "C"
+		if !t.Committed {
+			status = "A"
+		}
+		fmt.Fprintf(bw, "txn %d s%d %d %d %s\n", t.ID, t.Session, t.Start, t.Finish, status)
+		for _, op := range t.Ops {
+			k := "r"
+			if op.Kind == OpWrite {
+				k = "w"
+			}
+			fmt.Fprintf(bw, "%s %s %d\n", k, op.Key, op.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format written by WriteText and reconstructs the
+// session lists. A transaction with session -1 becomes the init
+// transaction and must be first.
+func ReadText(r io.Reader) (*History, error) {
+	var h History
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var cur *Txn
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "txn":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("history: line %d: malformed txn header", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("history: line %d: bad id: %w", line, err)
+			}
+			sess, err := strconv.Atoi(strings.TrimPrefix(fields[2], "s"))
+			if err != nil {
+				return nil, fmt.Errorf("history: line %d: bad session: %w", line, err)
+			}
+			start, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("history: line %d: bad start: %w", line, err)
+			}
+			finish, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("history: line %d: bad finish: %w", line, err)
+			}
+			if id != len(h.Txns) {
+				return nil, fmt.Errorf("history: line %d: txn id %d out of order", line, id)
+			}
+			h.Txns = append(h.Txns, Txn{
+				ID: id, Session: sess, Start: start, Finish: finish,
+				Committed: fields[5] == "C",
+			})
+			cur = &h.Txns[len(h.Txns)-1]
+			if sess == -1 {
+				if id != 0 {
+					return nil, fmt.Errorf("history: line %d: init transaction must be first", line)
+				}
+				h.HasInit = true
+			} else {
+				for len(h.Sessions) <= sess {
+					h.Sessions = append(h.Sessions, nil)
+				}
+				h.Sessions[sess] = append(h.Sessions[sess], id)
+			}
+		case "r", "w":
+			if cur == nil {
+				return nil, fmt.Errorf("history: line %d: operation before txn header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("history: line %d: malformed op", line)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("history: line %d: bad value: %w", line, err)
+			}
+			kind := OpRead
+			if fields[0] == "w" {
+				kind = OpWrite
+			}
+			cur.Ops = append(cur.Ops, Op{Kind: kind, Key: Key(fields[1]), Value: Value(v)})
+		default:
+			return nil, fmt.Errorf("history: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

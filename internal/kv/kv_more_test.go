@@ -1,0 +1,174 @@
+package kv
+
+import (
+	"errors"
+	"testing"
+
+	"mtc/internal/history"
+)
+
+func TestModeAccessor(t *testing.T) {
+	if NewStore(Mode2PL).Mode() != Mode2PL {
+		t.Fatal("Mode accessor")
+	}
+}
+
+func Test2PLAppendAndReadList(t *testing.T) {
+	s := NewStore(Mode2PL)
+	tx := s.Begin()
+	if err := tx.Append("l", 1); err != nil {
+		t.Fatal(err)
+	}
+	lst, err := tx.ReadList("l")
+	if err != nil || len(lst) != 1 || lst[0] != 1 {
+		t.Fatalf("list = %v, %v", lst, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction sees the committed list under the lock.
+	tx2 := s.Begin()
+	lst, err = tx2.ReadList("l")
+	if err != nil || len(lst) != 1 {
+		t.Fatalf("list = %v, %v", lst, err)
+	}
+	tx2.Abort()
+}
+
+func Test2PLAppendWaitDie(t *testing.T) {
+	s := NewStore(Mode2PL)
+	older := s.Begin()
+	younger := s.Begin()
+	if err := older.Append("l", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := younger.Append("l", 2); !errors.Is(err, ErrConflict) {
+		t.Fatalf("younger append must die, got %v", err)
+	}
+	if _, err := s.Begin().ReadList("l"); err != nil {
+		// A third, even younger txn also dies while older holds the lock.
+		if !errors.Is(err, ErrConflict) {
+			t.Fatal(err)
+		}
+	}
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMissingKeyReturnsZero(t *testing.T) {
+	s := NewStore(ModeSI)
+	tx := s.Begin()
+	v, err := tx.Read("ghost")
+	if err != nil || v != 0 {
+		t.Fatalf("read of missing key = %d, %v", v, err)
+	}
+	tx.Abort()
+}
+
+func TestLongForkFaultForksPerKeySnapshots(t *testing.T) {
+	s := NewFaultyStore(ModeSI, Faults{LongFork: 1, Seed: 3})
+	s.Init([]history.Key{"x", "y"})
+	// Build history on both keys.
+	for i := 1; i <= 40; i++ {
+		tx := s.Begin()
+		tx.Read("x")
+		tx.Read("y")
+		tx.Write("x", history.Value(i))
+		tx.Write("y", history.Value(1000+i))
+		if tx.Commit() != nil {
+			i--
+		}
+	}
+	// Under per-key forked snapshots a reader may see key states from
+	// different instants.
+	forked := false
+	for i := 0; i < 60 && !forked; i++ {
+		tx := s.Begin()
+		vx, _ := tx.Read("x")
+		vy, _ := tx.Read("y")
+		tx.Abort()
+		if vy-vx != 1000 {
+			forked = true
+		}
+	}
+	if !forked {
+		t.Fatal("long-fork fault never produced inconsistent per-key snapshots")
+	}
+}
+
+func TestSnapshotReadSameKeyTwiceStable(t *testing.T) {
+	// Even with the LongFork fault, a transaction's second read of the
+	// same key uses the same forked snapshot (snapFor caches per key).
+	s := NewFaultyStore(ModeSI, Faults{LongFork: 1, Seed: 5})
+	s.Init([]history.Key{"x"})
+	for i := 1; i <= 20; i++ {
+		tx := s.Begin()
+		tx.Read("x")
+		tx.Write("x", history.Value(i))
+		if tx.Commit() != nil {
+			i--
+		}
+	}
+	tx := s.Begin()
+	a, _ := tx.Read("x")
+	b, _ := tx.Read("x")
+	tx.Abort()
+	if a != b {
+		t.Fatalf("reads diverged within a transaction: %d vs %d", a, b)
+	}
+}
+
+func TestInsertIntervalOrdering(t *testing.T) {
+	s := NewStore(ModeSI)
+	_, rec1 := s.Insert("x", 0)
+	_, rec2 := s.CAS("x", 0, 1)
+	if rec1.Finish >= rec2.Start {
+		t.Fatalf("sequential LWT intervals must not overlap: %+v %+v", rec1, rec2)
+	}
+}
+
+func TestAbortIsIdempotent(t *testing.T) {
+	s := NewStore(ModeSI)
+	tx := s.Begin()
+	tx.Abort()
+	tx.Abort() // second abort is a no-op
+	if s.Stats().Aborts.Load() != 1 {
+		t.Fatalf("aborts = %d", s.Stats().Aborts.Load())
+	}
+}
+
+func TestSerializableReadOnlyConflict(t *testing.T) {
+	// A read-only transaction whose read set changed must abort under
+	// the optimistic serializable mode (it cannot be serialized at its
+	// commit point).
+	s := NewStore(ModeSerializable)
+	s.Init([]history.Key{"x"})
+	t1 := s.Begin()
+	t1.Read("x")
+	t2 := s.Begin()
+	t2.Read("x")
+	t2.Write("x", 5)
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale read-only txn must conflict, got %v", err)
+	}
+}
+
+func TestWriteBufferIsolation(t *testing.T) {
+	s := NewStore(ModeSI)
+	s.Init([]history.Key{"x"})
+	t1 := s.Begin()
+	t1.Write("x", 9)
+	t2 := s.Begin()
+	if v, _ := t2.Read("x"); v != 0 {
+		t.Fatalf("uncommitted write visible: %d", v)
+	}
+	t1.Abort()
+	t2.Abort()
+	if v, _ := s.ReadValue("x"); v != 0 {
+		t.Fatalf("aborted write installed: %d", v)
+	}
+}

@@ -1,0 +1,75 @@
+package kv
+
+import (
+	"mtc/internal/core"
+	"mtc/internal/history"
+)
+
+// Lightweight transactions (Section IV-E): single-object compare-and-set
+// and insert-if-not-exists operations. Each executes atomically under the
+// store mutex, so a fault-free store is linearizable; the CASFailApply
+// fault reintroduces the Cassandra 2.0.1 aborted-read bug by applying the
+// write of a CAS that reports failure.
+
+// CAS atomically replaces k's value with new if it currently equals
+// expect. It returns whether the swap applied and the LWT record (with
+// real-time interval) for the history; on failure the record degrades to
+// a read per Section II-F and Record.Kind stays LWTRW with Write == Read
+// observed — callers use OK to decide how to log it.
+func (s *Store) CAS(k history.Key, expect, new history.Value) (ok bool, rec core.LWT) {
+	start := s.now()
+	s.mu.Lock()
+	ver, exists := s.latest(k)
+	applied := exists && ver.val == expect
+	failApply := false
+	if !applied && exists {
+		failApply = s.chance(s.f.CASFailApply)
+	}
+	if applied || failApply {
+		s.install(k, s.now(), new, nil)
+	}
+	s.mu.Unlock()
+	finish := s.now()
+	if applied {
+		s.stats.Commits.Add(1)
+	} else {
+		s.stats.Aborts.Add(1)
+	}
+	rec = core.LWT{
+		Key: k, Kind: core.LWTRW,
+		Read: expect, Write: new,
+		Start: start, Finish: finish,
+	}
+	return applied, rec
+}
+
+// Insert atomically installs v for k if k does not exist. It returns
+// whether the insert applied and the LWT record for the history.
+func (s *Store) Insert(k history.Key, v history.Value) (ok bool, rec core.LWT) {
+	start := s.now()
+	s.mu.Lock()
+	_, exists := s.latest(k)
+	if !exists {
+		s.install(k, s.now(), v, nil)
+	}
+	s.mu.Unlock()
+	finish := s.now()
+	if !exists {
+		s.stats.Commits.Add(1)
+	} else {
+		s.stats.Aborts.Add(1)
+	}
+	rec = core.LWT{
+		Key: k, Kind: core.LWTInsert,
+		Write: v, Start: start, Finish: finish,
+	}
+	return !exists, rec
+}
+
+// ReadValue returns the latest committed value of k (a linearizable read).
+func (s *Store) ReadValue(k history.Key) (history.Value, bool) {
+	s.mu.RLock()
+	ver, ok := s.latest(k)
+	s.mu.RUnlock()
+	return ver.val, ok
+}

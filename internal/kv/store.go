@@ -1,0 +1,276 @@
+// Package kv implements the database substrate the paper tests against:
+// an in-memory, multi-version, transactional key-value store standing in
+// for PostgreSQL, MongoDB, MariaDB Galera and Cassandra in the
+// experiments. It supports three concurrency-control modes:
+//
+//   - ModeSI: snapshot isolation via MVCC snapshots with first-committer-
+//     wins write validation (PostgreSQL REPEATABLE READ).
+//   - ModeSerializable: optimistic serializability — SI plus commit-time
+//     read-set validation, so the transaction aborts if anything it read
+//     changed (a commit-time-serialized OCC, which is strictly
+//     serializable because the serialization point lies inside the
+//     transaction's real-time interval).
+//   - Mode2PL: pessimistic strict two-phase locking with wait-die deadlock
+//     avoidance (long-lock blocking, the other cost regime of Section I).
+//
+// The store also provides the lightweight transactions of Section IV-E
+// (compare-and-set and insert-if-not-exists) and list-append documents for
+// the Elle baseline, and exposes the fault-injection hooks (Faults) that
+// reintroduce the production bugs of Table II.
+//
+// All timestamps come from a single atomic logical clock, so the recorded
+// start/finish instants form a legitimate real-time order for SSER
+// checking.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mtc/internal/history"
+)
+
+// Mode selects the store's concurrency control.
+type Mode int
+
+// Concurrency-control modes.
+const (
+	ModeSI           Mode = iota // MVCC snapshot isolation, first-committer-wins
+	ModeSerializable             // SI + read-set validation (optimistic SER)
+	Mode2PL                      // strict two-phase locking, wait-die
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSI:
+		return "SI"
+	case ModeSerializable:
+		return "SERIALIZABLE"
+	case Mode2PL:
+		return "2PL"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Store errors.
+var (
+	// ErrConflict is returned by Commit when validation fails or a lock
+	// request dies; the transaction has been rolled back (unless a fault
+	// injected dirty state) and may be retried.
+	ErrConflict = errors.New("kv: transaction conflict")
+	// ErrTxnDone is returned when a finished transaction is used again.
+	ErrTxnDone = errors.New("kv: transaction already finished")
+)
+
+// Faults configures probabilistic bug injection; the zero value injects
+// nothing. Probabilities are per decision point in [0,1]. See
+// internal/faults for named presets reproducing Table II.
+type Faults struct {
+	// LostUpdate skips first-committer-wins validation, letting two
+	// concurrent read-modify-writes of the same version both commit
+	// (MariaDB Galera #609).
+	LostUpdate float64
+	// WriteSkew skips read-set validation in ModeSerializable, silently
+	// degrading the transaction to SI (PostgreSQL #5940ffb).
+	WriteSkew float64
+	// StaleSnapshot starts the transaction on an old snapshot, missing
+	// recently committed transactions — including the session's own
+	// (Dgraph causality violation; SSER stale reads).
+	StaleSnapshot float64
+	// LongFork serves an individual read from a per-key stale snapshot,
+	// producing fractured/long-fork reads (PostgreSQL 11.8).
+	LongFork float64
+	// DirtyAbort installs a transaction's writes and then reports an
+	// abort, so later readers observe aborted state (MongoDB 4.2.6).
+	DirtyAbort float64
+	// CASFailApply applies the write of a failed compare-and-set
+	// (Cassandra 2.0.1 aborted read).
+	CASFailApply float64
+	// Seed seeds the injector's PRNG; 0 means 1.
+	Seed int64
+}
+
+// Stats counts commits and aborts; read with atomic loads.
+type Stats struct {
+	Commits atomic.Int64
+	Aborts  atomic.Int64
+}
+
+// AbortRate returns aborts / (commits + aborts), or 0 for an idle store.
+func (s *Stats) AbortRate() float64 {
+	c, a := s.Commits.Load(), s.Aborts.Load()
+	if c+a == 0 {
+		return 0
+	}
+	return float64(a) / float64(c+a)
+}
+
+// version is one committed value of a key. For list keys, list holds the
+// full list state at this version (copy on append).
+type version struct {
+	ts   int64
+	val  history.Value
+	list []history.Value
+}
+
+// lockState is the 2PL per-key exclusive lock; holder is the owning
+// transaction's start timestamp (its wait-die priority), 0 when free.
+type lockState struct {
+	holder int64
+}
+
+// Store is the transactional key-value store. Safe for concurrent use.
+type Store struct {
+	mode  Mode
+	clock atomic.Int64
+
+	mu   sync.RWMutex // guards data
+	data map[history.Key][]version
+
+	lmu   sync.Mutex // guards locks + cond
+	lcond *sync.Cond
+	locks map[history.Key]*lockState
+
+	fmu  sync.Mutex // guards frng
+	frng *rand.Rand
+	f    Faults
+
+	stats Stats
+}
+
+// NewStore returns an empty store in the given mode with no faults.
+func NewStore(mode Mode) *Store {
+	return NewFaultyStore(mode, Faults{})
+}
+
+// NewFaultyStore returns a store with the given fault configuration.
+func NewFaultyStore(mode Mode, f Faults) *Store {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Store{
+		mode:  mode,
+		data:  make(map[history.Key][]version),
+		locks: make(map[history.Key]*lockState),
+		frng:  rand.New(rand.NewSource(seed)),
+		f:     f,
+	}
+	s.lcond = sync.NewCond(&s.lmu)
+	return s
+}
+
+// Mode returns the store's concurrency-control mode.
+func (s *Store) Mode() Mode { return s.mode }
+
+// Stats returns the commit/abort counters.
+func (s *Store) Stats() *Stats { return &s.stats }
+
+// now advances and returns the logical clock.
+func (s *Store) now() int64 { return s.clock.Add(1) }
+
+// chance draws a fault decision.
+func (s *Store) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	s.fmu.Lock()
+	ok := s.frng.Float64() < p
+	s.fmu.Unlock()
+	return ok
+}
+
+// randBack draws a random lag in [1, max] for stale-snapshot faults.
+func (s *Store) randBack(max int64) int64 {
+	if max < 1 {
+		return 0
+	}
+	s.fmu.Lock()
+	d := 1 + s.frng.Int63n(max)
+	s.fmu.Unlock()
+	return d
+}
+
+// Init installs value 0 for each key at timestamp 0, playing the role of
+// the initial transaction ⊥T. Must be called before concurrent use.
+func (s *Store) Init(keys []history.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		if len(s.data[k]) == 0 {
+			s.data[k] = append(s.data[k], version{ts: 0, val: 0})
+		}
+	}
+}
+
+// latestAt returns the newest version of k with ts <= snap and whether one
+// exists. Caller holds s.mu (read or write).
+func (s *Store) latestAt(k history.Key, snap int64) (version, bool) {
+	vs := s.data[k]
+	// Binary search: versions are append-ordered by ts.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].ts > snap })
+	if i == 0 {
+		return version{}, false
+	}
+	return vs[i-1], true
+}
+
+// latest returns the newest committed version of k.
+func (s *Store) latest(k history.Key) (version, bool) {
+	vs := s.data[k]
+	if len(vs) == 0 {
+		return version{}, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// install appends a committed version for k at ts. Caller holds s.mu.
+func (s *Store) install(k history.Key, ts int64, val history.Value, list []history.Value) {
+	s.data[k] = append(s.data[k], version{ts: ts, val: val, list: list})
+}
+
+// acquire takes the exclusive 2PL lock on k for a transaction with
+// wait-die priority prio (smaller = older = higher priority). It returns
+// false if the transaction must die.
+func (s *Store) acquire(k history.Key, prio int64) bool {
+	s.lmu.Lock()
+	defer s.lmu.Unlock()
+	for {
+		l := s.locks[k]
+		if l == nil {
+			l = &lockState{}
+			s.locks[k] = l
+		}
+		switch {
+		case l.holder == 0:
+			l.holder = prio
+			return true
+		case l.holder == prio:
+			return true // re-entrant
+		case prio < l.holder:
+			// Older transaction waits.
+			s.lcond.Wait()
+		default:
+			// Younger transaction dies.
+			return false
+		}
+	}
+}
+
+// release frees every lock held by priority prio and wakes waiters.
+func (s *Store) release(held []history.Key, prio int64) {
+	s.lmu.Lock()
+	for _, k := range held {
+		if l := s.locks[k]; l != nil && l.holder == prio {
+			l.holder = 0
+		}
+	}
+	s.lmu.Unlock()
+	s.lcond.Broadcast()
+}

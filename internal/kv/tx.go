@@ -1,0 +1,319 @@
+package kv
+
+import (
+	"sort"
+
+	"mtc/internal/history"
+)
+
+// Tx is an in-flight transaction. A Tx is not safe for concurrent use by
+// multiple goroutines; each client session drives its own transactions.
+type Tx struct {
+	s       *Store
+	startTS int64
+	snapTS  int64 // may lag startTS under the StaleSnapshot fault
+	stale   bool  // true when the StaleSnapshot fault fired at Begin
+	done    bool
+
+	ops      []history.Op                     // program-order op log
+	writeBuf map[history.Key]history.Value    // last buffered write per key
+	appends  map[history.Key][]history.Value  // buffered list appends
+	readSeen map[history.Key]int64            // version ts observed per read key
+	readSnap map[history.Key]int64            // per-key forked snapshot (LongFork)
+	held     []history.Key                    // 2PL locks held
+	finishTS int64
+	committed bool
+}
+
+// Begin starts a transaction. Under Mode2PL the transaction's start
+// timestamp doubles as its wait-die priority.
+func (s *Store) Begin() *Tx {
+	start := s.now()
+	snap := start
+	stale := false
+	if s.chance(s.f.StaleSnapshot) {
+		snap -= s.randBack(start / 2)
+		if snap < 0 {
+			snap = 0
+		}
+		stale = true
+	}
+	return &Tx{
+		s:        s,
+		startTS:  start,
+		snapTS:   snap,
+		stale:    stale,
+		writeBuf: make(map[history.Key]history.Value),
+		appends:  make(map[history.Key][]history.Value),
+		readSeen: make(map[history.Key]int64),
+		readSnap: make(map[history.Key]int64),
+	}
+}
+
+// StartTS returns the transaction's begin timestamp on the store's
+// logical clock.
+func (t *Tx) StartTS() int64 { return t.startTS }
+
+// FinishTS returns the commit/abort timestamp (0 while in flight).
+func (t *Tx) FinishTS() int64 { return t.finishTS }
+
+// Committed reports whether Commit succeeded.
+func (t *Tx) Committed() bool { return t.committed }
+
+// Ops returns the program-order operation log (reads with the values
+// returned, writes with the values installed). The caller must not modify
+// the slice.
+func (t *Tx) Ops() []history.Op { return t.ops }
+
+// snapFor returns the snapshot timestamp used for reading key k, applying
+// the LongFork fault the first time the key is read.
+func (t *Tx) snapFor(k history.Key) int64 {
+	if snap, ok := t.readSnap[k]; ok {
+		return snap
+	}
+	snap := t.snapTS
+	if t.s.chance(t.s.f.LongFork) {
+		snap -= t.s.randBack(snap / 2)
+		if snap < 0 {
+			snap = 0
+		}
+		// The buggy database treats the forked snapshot as current, so
+		// commit-time read validation must not quietly repair the damage.
+		t.stale = true
+	}
+	t.readSnap[k] = snap
+	return snap
+}
+
+// Read returns the value of k visible to this transaction: its own last
+// buffered write if any, otherwise the snapshot version (MVCC modes) or
+// the latest committed version under the key's lock (2PL).
+func (t *Tx) Read(k history.Key) (history.Value, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	if v, ok := t.writeBuf[k]; ok {
+		t.ops = append(t.ops, history.Op{Kind: history.OpRead, Key: k, Value: v})
+		return v, nil
+	}
+	if t.s.mode == Mode2PL {
+		if !t.s.acquire(k, t.startTS) {
+			t.rollback()
+			return 0, ErrConflict
+		}
+		t.noteHeld(k)
+		t.s.mu.RLock()
+		ver, _ := t.s.latest(k)
+		t.s.mu.RUnlock()
+		t.ops = append(t.ops, history.Op{Kind: history.OpRead, Key: k, Value: ver.val})
+		t.readSeen[k] = ver.ts
+		return ver.val, nil
+	}
+	snap := t.snapFor(k)
+	t.s.mu.RLock()
+	ver, _ := t.s.latestAt(k, snap)
+	t.s.mu.RUnlock()
+	t.ops = append(t.ops, history.Op{Kind: history.OpRead, Key: k, Value: ver.val})
+	if _, seen := t.readSeen[k]; !seen {
+		t.readSeen[k] = ver.ts
+	}
+	return ver.val, nil
+}
+
+// Write buffers a write of v to k (visible to this transaction's own
+// later reads, installed at commit).
+func (t *Tx) Write(k history.Key, v history.Value) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.s.mode == Mode2PL {
+		if !t.s.acquire(k, t.startTS) {
+			t.rollback()
+			return ErrConflict
+		}
+		t.noteHeld(k)
+	}
+	t.writeBuf[k] = v
+	t.ops = append(t.ops, history.Op{Kind: history.OpWrite, Key: k, Value: v})
+	return nil
+}
+
+// Append buffers a list append of v to k (the Elle list-append model).
+func (t *Tx) Append(k history.Key, v history.Value) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.s.mode == Mode2PL {
+		if !t.s.acquire(k, t.startTS) {
+			t.rollback()
+			return ErrConflict
+		}
+		t.noteHeld(k)
+	}
+	t.appends[k] = append(t.appends[k], v)
+	t.ops = append(t.ops, history.Op{Kind: history.OpWrite, Key: k, Value: v})
+	return nil
+}
+
+// ReadList returns the list value of k visible to this transaction,
+// including its own buffered appends.
+func (t *Tx) ReadList(k history.Key) ([]history.Value, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	var base []history.Value
+	if t.s.mode == Mode2PL {
+		if !t.s.acquire(k, t.startTS) {
+			t.rollback()
+			return nil, ErrConflict
+		}
+		t.noteHeld(k)
+		t.s.mu.RLock()
+		ver, _ := t.s.latest(k)
+		t.s.mu.RUnlock()
+		base = ver.list
+		t.readSeen[k] = ver.ts
+	} else {
+		snap := t.snapFor(k)
+		t.s.mu.RLock()
+		ver, _ := t.s.latestAt(k, snap)
+		t.s.mu.RUnlock()
+		base = ver.list
+		if _, seen := t.readSeen[k]; !seen {
+			t.readSeen[k] = ver.ts
+		}
+	}
+	out := make([]history.Value, 0, len(base)+len(t.appends[k]))
+	out = append(out, base...)
+	out = append(out, t.appends[k]...)
+	// The op log records list reads as a read of the last element (or 0);
+	// the Elle checker consumes richer logs via the runner.
+	var last history.Value
+	if len(out) > 0 {
+		last = out[len(out)-1]
+	}
+	t.ops = append(t.ops, history.Op{Kind: history.OpRead, Key: k, Value: last})
+	return out, nil
+}
+
+func (t *Tx) noteHeld(k history.Key) {
+	for _, h := range t.held {
+		if h == k {
+			return
+		}
+	}
+	t.held = append(t.held, k)
+}
+
+// rollback marks the transaction aborted and releases its locks.
+func (t *Tx) rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.finishTS = t.s.now()
+	if t.s.mode == Mode2PL {
+		t.s.release(t.held, t.startTS)
+	}
+	t.s.stats.Aborts.Add(1)
+}
+
+// Abort rolls the transaction back explicitly.
+func (t *Tx) Abort() {
+	t.rollback()
+}
+
+// Commit validates and installs the transaction. On ErrConflict the
+// transaction has aborted (the DirtyAbort fault may nonetheless have
+// installed its writes, which is precisely the injected bug).
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	s := t.s
+	s.mu.Lock()
+	// Validation (MVCC modes only; 2PL transactions hold every lock they
+	// touched, so they are always valid).
+	conflict := false
+	if s.mode != Mode2PL {
+		if !s.chance(s.f.LostUpdate) {
+			for k := range t.writeBuf {
+				if ver, ok := s.latest(k); ok && ver.ts > t.snapTS {
+					conflict = true
+					break
+				}
+			}
+			for k := range t.appends {
+				if _, dup := t.writeBuf[k]; dup {
+					continue
+				}
+				if ver, ok := s.latest(k); ok && ver.ts > t.snapTS {
+					conflict = true
+					break
+				}
+			}
+		}
+		// A transaction started on an injected stale snapshot skips
+		// read-set validation: the buggy database believes its snapshot
+		// is current, which is exactly how the stale reads leak out.
+		if !conflict && s.mode == ModeSerializable && !t.stale && !s.chance(s.f.WriteSkew) {
+			for k, seen := range t.readSeen {
+				if ver, ok := s.latest(k); ok && ver.ts != seen {
+					conflict = true
+					break
+				}
+			}
+		}
+	}
+	// The DirtyAbort fault installs the transaction's effects and then
+	// reports an abort — regardless of whether validation passed — so the
+	// injected bug manifests on conflict-free workloads too.
+	dirty := s.chance(s.f.DirtyAbort)
+	if conflict && !dirty {
+		s.mu.Unlock()
+		t.rollback()
+		return ErrConflict
+	}
+	// Install. Under DirtyAbort we install and still report failure.
+	ts := s.now()
+	keys := make([]history.Key, 0, len(t.writeBuf)+len(t.appends))
+	for k := range t.writeBuf {
+		keys = append(keys, k)
+	}
+	for k := range t.appends {
+		if _, dup := t.writeBuf[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if app, ok := t.appends[k]; ok {
+			cur, _ := s.latest(k)
+			nl := make([]history.Value, 0, len(cur.list)+len(app))
+			nl = append(nl, cur.list...)
+			nl = append(nl, app...)
+			var val history.Value
+			if v, ok := t.writeBuf[k]; ok {
+				val = v
+			} else if len(nl) > 0 {
+				val = nl[len(nl)-1]
+			}
+			s.install(k, ts, val, nl)
+		} else {
+			s.install(k, ts, t.writeBuf[k], nil)
+		}
+	}
+	s.mu.Unlock()
+	t.done = true
+	t.finishTS = s.now()
+	if s.mode == Mode2PL {
+		s.release(t.held, t.startTS)
+	}
+	if conflict || dirty {
+		s.stats.Aborts.Add(1)
+		return ErrConflict
+	}
+	t.committed = true
+	s.stats.Commits.Add(1)
+	return nil
+}

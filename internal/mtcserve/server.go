@@ -1,0 +1,165 @@
+// Package mtcserve implements the checking-as-a-service HTTP API behind
+// cmd/mtc-serve: histories in, verdicts with counterexamples out. It is
+// the repository's take on the IsoVista integration the paper names as
+// future work.
+package mtcserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"mtc/internal/cobra"
+	"mtc/internal/core"
+	"mtc/internal/graph"
+	"mtc/internal/history"
+	"mtc/internal/polysi"
+)
+
+// Verdict is the JSON response of /check.
+type Verdict struct {
+	Level     string   `json:"level"`
+	Checker   string   `json:"checker"`
+	OK        bool     `json:"ok"`
+	Txns      int      `json:"txns"`
+	Edges     int      `json:"edges,omitempty"`
+	Anomalies []string `json:"anomalies,omitempty"`
+	Cycle     []string `json:"cycle,omitempty"`
+	Detail    string   `json:"detail,omitempty"`
+}
+
+// Handler returns the service's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /check", handleCheck)
+	mux.HandleFunc("GET /fixtures", handleFixtures)
+	mux.HandleFunc("GET /fixtures/{name}", handleFixture)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func parseLevel(r *http.Request) (core.Level, bool) {
+	lvl := core.Level(strings.ToUpper(r.URL.Query().Get("level")))
+	switch lvl {
+	case "":
+		return core.SI, true
+	case core.SSER, core.SER, core.SI:
+		return lvl, true
+	default:
+		return "", false
+	}
+}
+
+func handleCheck(w http.ResponseWriter, r *http.Request) {
+	lvl, ok := parseLevel(r)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown level %q", r.URL.Query().Get("level"))
+		return
+	}
+	h, err := history.ReadJSON(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad history: %v", err)
+		return
+	}
+	checker := r.URL.Query().Get("checker")
+	if checker == "" {
+		checker = "mtc"
+	}
+	v, err := check(h, lvl, checker)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// check runs the requested checker and converts its result.
+func check(h *history.History, lvl core.Level, checker string) (Verdict, error) {
+	switch checker {
+	case "mtc":
+		return fromResult(core.Check(h, lvl), "mtc"), nil
+	case "cobra":
+		if lvl != core.SER {
+			return Verdict{}, fmt.Errorf("checker cobra supports level SER only")
+		}
+		rep := cobra.CheckSER(h)
+		v := Verdict{Level: string(lvl), Checker: "cobra", OK: rep.OK, Txns: len(h.Txns)}
+		for _, a := range rep.Anomalies {
+			v.Anomalies = append(v.Anomalies, a.String())
+		}
+		v.Detail = fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual)
+		return v, nil
+	case "polysi":
+		if lvl != core.SI {
+			return Verdict{}, fmt.Errorf("checker polysi supports level SI only")
+		}
+		rep := polysi.CheckSI(h)
+		v := Verdict{Level: string(lvl), Checker: "polysi", OK: rep.OK, Txns: len(h.Txns)}
+		for _, a := range rep.Anomalies {
+			v.Anomalies = append(v.Anomalies, a.String())
+		}
+		v.Detail = fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual)
+		return v, nil
+	default:
+		return Verdict{}, fmt.Errorf("unknown checker %q", checker)
+	}
+}
+
+func fromResult(r core.Result, checker string) Verdict {
+	v := Verdict{
+		Level: string(r.Level), Checker: checker, OK: r.OK,
+		Txns: r.NumTxns, Edges: r.NumEdges,
+	}
+	for _, a := range r.Anomalies {
+		v.Anomalies = append(v.Anomalies, a.String())
+	}
+	for _, e := range r.Cycle {
+		v.Cycle = append(v.Cycle, e.String())
+	}
+	if r.Divergence != nil {
+		v.Detail = r.Divergence.String()
+	}
+	if len(r.Cycle) > 0 {
+		v.Detail = graph.FormatCycle(r.Cycle)
+	}
+	return v
+}
+
+func handleFixtures(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	for _, f := range history.Fixtures() {
+		names = append(names, f.Name)
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func handleFixture(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	f := history.FixtureByName(name)
+	if f == nil {
+		httpError(w, http.StatusNotFound, "unknown fixture %q", name)
+		return
+	}
+	lvl, ok := parseLevel(r)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown level %q", r.URL.Query().Get("level"))
+		return
+	}
+	writeJSON(w, http.StatusOK, fromResult(core.Check(f.H, lvl), "mtc"))
+}

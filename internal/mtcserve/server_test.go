@@ -1,0 +1,153 @@
+package mtcserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mtc/internal/history"
+)
+
+func post(t *testing.T, ts *httptest.Server, path string, h *history.History) (*http.Response, Verdict) {
+	t.Helper()
+	var buf bytes.Buffer
+	if h != nil {
+		if err := history.WriteJSON(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		buf.WriteString("{bogus")
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v Verdict
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	return resp, v
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+func TestCheckValidHistory(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	h := history.SerialHistory(20, "x", "y")
+	resp, v := post(t, ts, "/check?level=SER", h)
+	if resp.StatusCode != http.StatusOK || !v.OK || v.Level != "SER" {
+		t.Fatalf("verdict: %d %+v", resp.StatusCode, v)
+	}
+	if v.Txns != len(h.Txns) || v.Edges == 0 {
+		t.Fatalf("stats: %+v", v)
+	}
+}
+
+func TestCheckViolationReturnsCounterexample(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	f := history.FixtureByName("WriteSkew")
+	_, v := post(t, ts, "/check?level=SER", f.H)
+	if v.OK || len(v.Cycle) == 0 || !strings.Contains(v.Detail, "RW") {
+		t.Fatalf("want write-skew cycle, got %+v", v)
+	}
+	_, v = post(t, ts, "/check?level=SI", f.H)
+	if !v.OK {
+		t.Fatalf("WriteSkew must pass SI: %+v", v)
+	}
+	_, v = post(t, ts, "/check?level=SI", history.FixtureByName("LostUpdate").H)
+	if v.OK || !strings.Contains(v.Detail, "DIVERGENCE") {
+		t.Fatalf("want divergence detail, got %+v", v)
+	}
+}
+
+func TestCheckBaselineCheckers(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	h := history.SerialHistory(10, "x")
+	resp, v := post(t, ts, "/check?level=SER&checker=cobra", h)
+	if resp.StatusCode != http.StatusOK || !v.OK || v.Checker != "cobra" {
+		t.Fatalf("cobra verdict: %d %+v", resp.StatusCode, v)
+	}
+	resp, v = post(t, ts, "/check?level=SI&checker=polysi", h)
+	if resp.StatusCode != http.StatusOK || !v.OK || v.Checker != "polysi" {
+		t.Fatalf("polysi verdict: %d %+v", resp.StatusCode, v)
+	}
+	// Mismatched level/checker combos are rejected.
+	resp, _ = post(t, ts, "/check?level=SI&checker=cobra", h)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cobra on SI must 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	resp, _ := post(t, ts, "/check?level=NOPE", history.SerialHistory(2))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad level must 400, got %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/check?level=SI", nil) // malformed body
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body must 400, got %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/check?checker=bogus", history.SerialHistory(2))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad checker must 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestFixturesEndpoints(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/fixtures")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("fixtures: %v", err)
+	}
+	var names []string
+	_ = json.NewDecoder(resp.Body).Decode(&names)
+	resp.Body.Close()
+	if len(names) != 14 {
+		t.Fatalf("names = %v", names)
+	}
+	resp, err = http.Get(ts.URL + "/fixtures/WriteSkew?level=SI")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatal("fixture lookup failed")
+	}
+	var v Verdict
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if !v.OK {
+		t.Fatalf("WriteSkew/SI verdict: %+v", v)
+	}
+	resp, _ = http.Get(ts.URL + "/fixtures/Nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fixture must 404, got %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/fixtures/WriteSkew?level=NOPE")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad level must 400, got %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestDefaultLevelIsSI(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	_, v := post(t, ts, "/check", history.SerialHistory(3))
+	if v.Level != "SI" {
+		t.Fatalf("default level = %q", v.Level)
+	}
+}

@@ -1,0 +1,137 @@
+// Package npc accompanies Appendix C of the paper: verifying strong
+// isolation levels of mini-transaction histories WITHOUT unique values is
+// NP-complete, so no analogue of the linear-time MTC algorithms can exist
+// for them (unless P=NP).
+//
+// The package provides reference checkers that remain correct in that
+// regime: exhaustive searches over serial witness orders (view
+// serializability / strict serializability by definition). They are
+// exponential in the worst case — the bench harness measures the blow-up
+// — and double as oracles for property-testing the polynomial MTC
+// checkers on unique-value histories, where the two notions coincide for
+// the RMW pattern.
+package npc
+
+import (
+	"mtc/internal/history"
+)
+
+// SerializableBrute reports whether the history is (view) serializable:
+// some permutation of its committed transactions respects the session
+// order and replays all reads correctly. It needs no unique-value
+// assumption. Exponential worst case; keep histories small.
+func SerializableBrute(h *history.History) bool {
+	return brute(h, false)
+}
+
+// StrictSerializableBrute additionally requires the witness order to
+// respect the real-time order (finish < start).
+func StrictSerializableBrute(h *history.History) bool {
+	return brute(h, true)
+}
+
+// brute runs a backtracking search over witness orders: at each step any
+// transaction whose predecessors (session order, optionally real-time
+// order) have all been placed may run next, provided its reads match the
+// current database state under its own write buffer.
+func brute(h *history.History, realTime bool) bool {
+	// Committed transactions only; aborted writes never apply.
+	var txns []int
+	for i := range h.Txns {
+		if h.Txns[i].Committed {
+			txns = append(txns, i)
+		}
+	}
+	// Precedence edges.
+	pred := map[int][]int{}
+	h.SessionOrder(func(a, b int) { pred[b] = append(pred[b], a) })
+	if realTime {
+		h.RealTimeOrder(func(a, b int) { pred[b] = append(pred[b], a) })
+	}
+
+	placed := make(map[int]bool, len(txns))
+	state := map[history.Key]history.Value{}
+	exists := map[history.Key]bool{}
+
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		for _, id := range txns {
+			if placed[id] {
+				continue
+			}
+			ready := true
+			for _, p := range pred[id] {
+				if !placed[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			undo, ok := apply(&h.Txns[id], state, exists)
+			if ok {
+				placed[id] = true
+				if rec(remaining - 1) {
+					return true
+				}
+				placed[id] = false
+			}
+			undo()
+		}
+		return false
+	}
+	return rec(len(txns))
+}
+
+// apply replays one transaction against the state. It returns an undo
+// closure and whether every read matched. Reads of keys never written
+// return the zero value only if the key exists (was initialized); a read
+// of an absent key never matches (callers model initialization with ⊥T).
+func apply(t *history.Txn, state map[history.Key]history.Value, exists map[history.Key]bool) (func(), bool) {
+	type saved struct {
+		k       history.Key
+		v       history.Value
+		existed bool
+	}
+	var log []saved
+	undo := func() {
+		for i := len(log) - 1; i >= 0; i-- {
+			s := log[i]
+			if s.existed {
+				state[s.k] = s.v
+				exists[s.k] = true
+			} else {
+				delete(state, s.k)
+				delete(exists, s.k)
+			}
+		}
+	}
+	buf := map[history.Key]history.Value{}
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case history.OpRead:
+			if v, ok := buf[op.Key]; ok {
+				if v != op.Value {
+					return undo, false
+				}
+				continue
+			}
+			if !exists[op.Key] || state[op.Key] != op.Value {
+				return undo, false
+			}
+		case history.OpWrite:
+			buf[op.Key] = op.Value
+		}
+	}
+	for k, v := range buf {
+		old, existed := state[k], exists[k]
+		log = append(log, saved{k: k, v: old, existed: existed})
+		state[k] = v
+		exists[k] = true
+	}
+	return undo, true
+}

@@ -1,0 +1,408 @@
+// Package polygraph builds the constraint representation of a general
+// history that the Cobra and PolySI baselines solve over: known dependency
+// edges (session order, write-read, and read-modify-write-inferred
+// write-write edges with their anti-dependencies) plus one binary
+// constraint per undetermined pair of writers of the same object. Each
+// orientation of a pair activates the write-write edge and the
+// anti-dependency edges it induces (Cobra's "coalesced constraints").
+//
+// Prune implements Cobra's solver-external optimization: it repeatedly
+// computes reachability over the known edges and forces every constraint
+// whose one orientation would close a cycle, feeding the forced edges back
+// into the known set until a fixpoint. This is the "non-solver" component
+// whose cost dominates Cobra's runtime in Figure 10 (on real Cobra it is
+// GPU-accelerated matrix multiplication; here it is bitset closure).
+package polygraph
+
+import (
+	"sort"
+
+	"mtc/internal/history"
+	"mtc/internal/sat"
+)
+
+// Polygraph is the constraint problem extracted from a history.
+type Polygraph struct {
+	N     int
+	Known []sat.Edge
+	Cons  []sat.Constraint
+	// Forced counts constraints resolved by Prune.
+	Forced int
+}
+
+// Build constructs the polygraph of a history. The history must already
+// satisfy the INT axiom and unique values (callers pre-check with
+// history.CheckInternal). Both the SER and SI baselines share this
+// construction; they differ only in the theory they solve with.
+func Build(h *history.History) *Polygraph {
+	p := &Polygraph{N: len(h.Txns)}
+	idx, _ := history.BuildWriterIndex(h)
+
+	// readersOf[u] lists (key, reader) pairs: committed reader r read
+	// key's value from u.
+	readersOf := make([][]kr, len(h.Txns))
+	// knownWW[u,x] is the direct RMW successor of u on x: a reader of u's
+	// value of x that also wrote x. Divergent histories may have several;
+	// the map keeps one and the loser starts its own chain (the WW and RW
+	// edges of both are in Known either way, so divergence is still
+	// rejected).
+	knownWW := map[wk]int{}
+
+	h.SessionOrder(func(a, b int) {
+		p.Known = append(p.Known, sat.Edge{From: a, To: b, Kind: sat.Base})
+	})
+
+	views := make([]map[history.Key]history.Value, len(h.Txns))
+	writes := make([]map[history.Key]history.Value, len(h.Txns))
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		if !t.Committed {
+			continue
+		}
+		views[i] = t.Reads()
+		writes[i] = t.Writes()
+	}
+
+	for s := range h.Txns {
+		if views[s] == nil {
+			continue
+		}
+		keys := make([]history.Key, 0, len(views[s]))
+		for x := range views[s] {
+			keys = append(keys, x)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, x := range keys {
+			v := views[s][x]
+			u := idx.Writer(x, v)
+			if u < 0 || u == s {
+				continue
+			}
+			p.Known = append(p.Known, sat.Edge{From: u, To: s, Kind: sat.Base}) // WR
+			readersOf[u] = append(readersOf[u], kr{key: x, r: s})
+			if _, w := writes[s][x]; w {
+				p.Known = append(p.Known, sat.Edge{From: u, To: s, Kind: sat.Base}) // WW
+				knownWW[wk{u, x}] = s
+			}
+		}
+	}
+
+	// Anti-dependencies induced by the known WW edges.
+	for uk, w := range knownWW {
+		for _, e := range readersOf[uk.u] {
+			if e.key == uk.k && e.r != w {
+				p.Known = append(p.Known, sat.Edge{From: e.r, To: w, Kind: sat.RW})
+			}
+		}
+	}
+
+	// Constraints: coalesce each key's writers into read-modify-write
+	// chains first (Cobra's "coalescing"). A chain — w1 -> w2 -> ... where
+	// each wi+1 read wi's value before overwriting it — cannot be
+	// interleaved by another write without creating a WW/RW cycle, so two
+	// chains are ordered as blocks: either tail(C) -> head(D) or
+	// tail(D) -> head(C), with the anti-dependencies of the tail's
+	// readers. This collapses O(W²) writer pairs to O(chains²); on pure
+	// MT histories every key is a single chain and no constraints remain.
+	for _, x := range h.Keys() {
+		chains := buildChains(x, idx.WritersOf(x), knownWWSucc(knownWW, x))
+		for i := 0; i < len(chains); i++ {
+			for j := i + 1; j < len(chains); j++ {
+				c, d := chains[i], chains[j]
+				p.Cons = append(p.Cons, sat.Constraint{
+					A: orient(c.tail, d.head, x, readersOf),
+					B: orient(d.tail, c.head, x, readersOf),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// chain is a maximal RMW chain of writers of one key.
+type chain struct {
+	head, tail int
+}
+
+// knownWWSucc extracts the direct RMW successor lists of key x.
+func knownWWSucc(knownWW map[wk]int, x history.Key) map[int]int {
+	succ := map[int]int{}
+	for k, s := range knownWW {
+		if k.k == x {
+			succ[k.u] = s
+		}
+	}
+	return succ
+}
+
+// buildChains partitions the writers of a key into maximal RMW chains. A
+// writer starts a chain when no other committed writer's value feeds it
+// (blind write, or its predecessor diverges into several successors, which
+// cannot happen in well-formed RMW inference since each reader reads one
+// value — divergent predecessors instead appear as two chains with the
+// same feeding value, already split because succ maps each writer to at
+// most one successor, keeping only one; the losers become chain heads).
+func buildChains(x history.Key, writers []int, succ map[int]int) []chain {
+	hasPred := map[int]bool{}
+	for _, s := range succ {
+		hasPred[s] = true
+	}
+	inChain := map[int]bool{}
+	var chains []chain
+	for _, w := range writers {
+		if hasPred[w] {
+			continue // appears mid-chain
+		}
+		tail := w
+		inChain[w] = true
+		for {
+			s, ok := succ[tail]
+			if !ok {
+				break
+			}
+			tail = s
+			inChain[s] = true
+		}
+		chains = append(chains, chain{head: w, tail: tail})
+	}
+	// Writers on a cycle of succ edges (only possible in corrupt
+	// histories) would be skipped above; give each its own chain so the
+	// solver still sees them.
+	for _, w := range writers {
+		if !inChain[w] {
+			chains = append(chains, chain{head: w, tail: w})
+		}
+	}
+	return chains
+}
+
+// kr is a (key, reader) pair: the reader read the key's value from the
+// indexed transaction.
+type kr struct {
+	key history.Key
+	r   int
+}
+
+// wk is a (writer, key) pair indexing the direct RMW successor map.
+type wk struct {
+	u int
+	k history.Key
+}
+
+// orient returns the edges activated by ordering u before w on key x: the
+// WW edge plus an anti-dependency from every reader of u's value of x.
+func orient(u, w int, x history.Key, readersOf [][]kr) []sat.Edge {
+	edges := []sat.Edge{{From: u, To: w, Kind: sat.Base}}
+	for _, e := range readersOf[u] {
+		if e.key == x && e.r != w {
+			edges = append(edges, sat.Edge{From: e.r, To: w, Kind: sat.RW})
+		}
+	}
+	return edges
+}
+
+// PruneMode selects the soundness condition used to force constraints.
+type PruneMode int
+
+// Pruning modes.
+const (
+	// PruneSER treats every edge (including anti-dependencies) as cycle
+	// material: any plain cycle violates serializability.
+	PruneSER PruneMode = iota
+	// PruneSI only counts base (WW/WR/SO) edges: a pure base cycle is
+	// also a cycle of the SI composition, but cycles through RW edges
+	// need not be, so they must be left to the SI theory solver.
+	PruneSI
+)
+
+// Prune resolves constraints forced by reachability over the known edges,
+// iterating to a fixpoint. It returns false if the known edges alone are
+// cyclic or some constraint is unsatisfiable both ways under the mode's
+// (sound) cycle condition: the history certainly violates the level.
+//
+// PruneSER uses plain reachability over every known edge. PruneSI uses
+// reachability over the COMPOSED graph (base ; rw?) of the known edges —
+// an option is forced away when its own contribution to the composition
+// (including compositions among its new edges) closes a composed cycle,
+// the exact condition Definition 6 forbids. Both modes are sound; cycles
+// requiring three or more undecided options are left to the solver.
+func (p *Polygraph) Prune(mode PruneMode) bool {
+	for {
+		var (
+			reach   [][]uint64
+			acyclic bool
+			si      *siIndex
+		)
+		if mode == PruneSER {
+			reach, acyclic = closure(p.N, p.Known)
+		} else {
+			si = newSIIndex(p.N, p.Known)
+			reach, acyclic = closure(p.N, si.composed)
+		}
+		if !acyclic {
+			return false
+		}
+		bad := func(edges []sat.Edge) bool {
+			if mode == PruneSER {
+				return createsCycle(reach, edges)
+			}
+			return si.optionClosesCycle(reach, edges)
+		}
+		var remaining []sat.Constraint
+		changed := false
+		for _, c := range p.Cons {
+			aBad := bad(c.A)
+			bBad := bad(c.B)
+			switch {
+			case aBad && bBad:
+				return false
+			case aBad:
+				p.Known = append(p.Known, c.B...)
+				p.Forced++
+				changed = true
+			case bBad:
+				p.Known = append(p.Known, c.A...)
+				p.Forced++
+				changed = true
+			default:
+				remaining = append(remaining, c)
+			}
+		}
+		p.Cons = remaining
+		if !changed {
+			return true
+		}
+	}
+}
+
+// siIndex indexes the known edges for SI pruning: the composed graph
+// (base ; rw?) plus the adjacency needed to compose a candidate option's
+// new edges against the known ones.
+type siIndex struct {
+	composed []sat.Edge
+	baseIn   [][]int // known base edges into node
+	rwOut    [][]int // known rw edges out of node
+}
+
+func newSIIndex(n int, known []sat.Edge) *siIndex {
+	idx := &siIndex{baseIn: make([][]int, n), rwOut: make([][]int, n)}
+	for _, e := range known {
+		if e.Kind == sat.RW {
+			idx.rwOut[e.From] = append(idx.rwOut[e.From], e.To)
+		} else {
+			idx.baseIn[e.To] = append(idx.baseIn[e.To], e.From)
+		}
+	}
+	for _, e := range known {
+		if e.Kind == sat.RW {
+			continue
+		}
+		idx.composed = append(idx.composed, sat.Edge{From: e.From, To: e.To})
+		for _, c := range idx.rwOut[e.To] {
+			idx.composed = append(idx.composed, sat.Edge{From: e.From, To: c})
+		}
+	}
+	return idx
+}
+
+// optionClosesCycle reports whether activating the option's edges closes a
+// cycle in the composed graph, considering compositions of the new edges
+// with the known edges and with each other.
+func (idx *siIndex) optionClosesCycle(reach [][]uint64, edges []sat.Edge) bool {
+	var newComp [][2]int
+	add := func(a, b int) {
+		newComp = append(newComp, [2]int{a, b})
+	}
+	for _, e := range edges {
+		if e.Kind == sat.RW {
+			for _, a := range idx.baseIn[e.From] {
+				add(a, e.To)
+			}
+			continue
+		}
+		add(e.From, e.To)
+		for _, c := range idx.rwOut[e.To] {
+			add(e.From, c)
+		}
+		// Compose with the option's own rw edges.
+		for _, r := range edges {
+			if r.Kind == sat.RW && r.From == e.To {
+				add(e.From, r.To)
+			}
+		}
+	}
+	reachable := func(a, b int) bool {
+		return reach[a][b/64]&(1<<(uint(b)%64)) != 0
+	}
+	for _, e := range newComp {
+		if e[0] == e[1] || reachable(e[1], e[0]) {
+			return true
+		}
+	}
+	for i := 0; i < len(newComp); i++ {
+		for j := i + 1; j < len(newComp); j++ {
+			if reachable(newComp[i][1], newComp[j][0]) && reachable(newComp[j][1], newComp[i][0]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// closure computes all-pairs reachability over the edges as bitsets, and
+// reports acyclicity. Reachability is reflexive.
+func closure(n int, edges []sat.Edge) ([][]uint64, bool) {
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	out := make([][]int, n)
+	indeg := make([]int, n)
+	for _, e := range edges {
+		out[e.From] = append(out[e.From], e.To)
+		indeg[e.To]++
+	}
+	// Reverse topological order via Kahn.
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, w := range out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		row := make([]uint64, words)
+		row[v/64] |= 1 << (uint(v) % 64)
+		for _, w := range out[v] {
+			for k := 0; k < words; k++ {
+				row[k] |= reach[w][k]
+			}
+		}
+		reach[v] = row
+	}
+	return reach, true
+}
+
+// createsCycle reports whether adding any of the edges would close a cycle
+// given the reachability relation (to ~> from already).
+func createsCycle(reach [][]uint64, edges []sat.Edge) bool {
+	for _, e := range edges {
+		if reach[e.To][e.From/64]&(1<<(uint(e.From)%64)) != 0 {
+			return true
+		}
+	}
+	return false
+}

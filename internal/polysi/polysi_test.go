@@ -1,0 +1,57 @@
+package polysi
+
+import (
+	"testing"
+
+	"mtc/internal/history"
+)
+
+func TestFixtureVerdicts(t *testing.T) {
+	for _, f := range history.Fixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			got := CheckSI(f.H)
+			if got.OK != !f.ViolatesSI {
+				t.Fatalf("OK=%v, want %v (%+v)", got.OK, !f.ViolatesSI, got)
+			}
+		})
+	}
+}
+
+func TestSerialHistory(t *testing.T) {
+	r := CheckSI(history.SerialHistory(50, "x", "y"))
+	if !r.OK {
+		t.Fatalf("serial history must satisfy SI: %+v", r)
+	}
+	if r.Constraints != 0 {
+		t.Fatalf("chain coalescing leaves no constraints on RMW chains, got %d", r.Constraints)
+	}
+}
+
+func TestDivergenceRejectedBeforeSolver(t *testing.T) {
+	b := history.NewBuilder("x")
+	b.Txn(0, history.R("x", 0), history.W("x", 1))
+	b.Txn(1, history.R("x", 0), history.W("x", 2))
+	r := CheckSI(b.Build())
+	if r.OK {
+		t.Fatal("divergence must violate SI")
+	}
+	if r.Solver.Decisions != 0 {
+		t.Fatalf("SI pruning should settle divergence without solver decisions: %+v", r.Solver)
+	}
+}
+
+func TestWriteSkewAcceptedUnderSI(t *testing.T) {
+	f := history.FixtureByName("WriteSkew")
+	if r := CheckSI(f.H); !r.OK {
+		t.Fatalf("write skew satisfies SI: %+v", r)
+	}
+}
+
+func TestPreCheckRejects(t *testing.T) {
+	f := history.FixtureByName("ThinAirRead")
+	r := CheckSI(f.H)
+	if r.OK || len(r.Anomalies) == 0 {
+		t.Fatalf("pre-check must reject: %+v", r)
+	}
+}

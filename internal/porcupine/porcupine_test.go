@@ -1,0 +1,155 @@
+package porcupine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+	"mtc/internal/workload"
+)
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(nil) {
+		t.Fatal("empty history is linearizable")
+	}
+}
+
+func TestSequentialChain(t *testing.T) {
+	ops := []core.LWT{
+		{ID: 0, Key: "x", Kind: core.LWTInsert, Write: 0, Start: 1, Finish: 2},
+		{ID: 1, Key: "x", Kind: core.LWTRW, Read: 0, Write: 1, Start: 3, Finish: 4},
+		{ID: 2, Key: "x", Kind: core.LWTRW, Read: 1, Write: 2, Start: 5, Finish: 6},
+	}
+	if !Check(ops) {
+		t.Fatal("sequential chain is linearizable")
+	}
+}
+
+func TestFig4a(t *testing.T) {
+	ops := []core.LWT{
+		{ID: 0, Key: "x", Kind: core.LWTInsert, Write: 0, Start: 1, Finish: 2},
+		{ID: 2, Key: "x", Kind: core.LWTRW, Read: 1, Write: 2, Start: 3, Finish: 6},
+		{ID: 1, Key: "x", Kind: core.LWTRW, Read: 0, Write: 1, Start: 4, Finish: 7},
+		{ID: 3, Key: "x", Kind: core.LWTRW, Read: 2, Write: 3, Start: 6, Finish: 9},
+	}
+	if !Check(ops) {
+		t.Fatal("Figure 4a is linearizable")
+	}
+}
+
+func TestFig4b(t *testing.T) {
+	ops := []core.LWT{
+		{ID: 0, Key: "x", Kind: core.LWTInsert, Write: 0, Start: 1, Finish: 2},
+		{ID: 2, Key: "x", Kind: core.LWTRW, Read: 1, Write: 2, Start: 3, Finish: 5},
+		{ID: 1, Key: "x", Kind: core.LWTRW, Read: 0, Write: 1, Start: 7, Finish: 10},
+		{ID: 3, Key: "x", Kind: core.LWTRW, Read: 2, Write: 3, Start: 6, Finish: 9},
+	}
+	if Check(ops) {
+		t.Fatal("Figure 4b is not linearizable")
+	}
+}
+
+func TestDoubleInsertRejected(t *testing.T) {
+	ops := []core.LWT{
+		{ID: 0, Key: "x", Kind: core.LWTInsert, Write: 0, Start: 1, Finish: 2},
+		{ID: 1, Key: "x", Kind: core.LWTInsert, Write: 5, Start: 3, Finish: 4},
+	}
+	if Check(ops) {
+		t.Fatal("two non-overlapping inserts cannot both succeed")
+	}
+}
+
+func TestConcurrentInsertsOneLegalOrder(t *testing.T) {
+	// Two overlapping inserts can never both apply on one register.
+	ops := []core.LWT{
+		{ID: 0, Key: "x", Kind: core.LWTInsert, Write: 0, Start: 1, Finish: 10},
+		{ID: 1, Key: "x", Kind: core.LWTInsert, Write: 5, Start: 2, Finish: 9},
+	}
+	if Check(ops) {
+		t.Fatal("both inserts reported success; not linearizable")
+	}
+}
+
+func TestPerKeyLocality(t *testing.T) {
+	good := []core.LWT{
+		{ID: 0, Key: "x", Kind: core.LWTInsert, Write: 0, Start: 1, Finish: 2},
+		{ID: 1, Key: "y", Kind: core.LWTInsert, Write: 0, Start: 1, Finish: 2},
+		{ID: 2, Key: "x", Kind: core.LWTRW, Read: 0, Write: 1, Start: 3, Finish: 4},
+		{ID: 3, Key: "y", Kind: core.LWTRW, Read: 0, Write: 1, Start: 3, Finish: 4},
+	}
+	if !Check(good) {
+		t.Fatal("independent keys are linearizable")
+	}
+	bad := append(append([]core.LWT{}, good...), core.LWT{
+		ID: 4, Key: "y", Kind: core.LWTRW, Read: 0, Write: 2, Start: 10, Finish: 11,
+	})
+	if Check(bad) {
+		t.Fatal("stale CAS on y must be rejected")
+	}
+}
+
+func TestPropertyAgreesWithVLLWT(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.LWTConfig{
+			Sessions:       2 + rng.Intn(5),
+			TxnsPerSession: 2 + rng.Intn(10),
+			ConcurrentFrac: rng.Float64(),
+			Keys:           1 + rng.Intn(3),
+			Seed:           seed,
+			Violate:        rng.Intn(2) == 1,
+		}
+		ops := workload.GenerateLWT(cfg)
+		want := core.VLLWT(ops).OK
+		got := Check(ops)
+		if want != got {
+			t.Logf("cfg=%+v VLLWT=%v porcupine=%v", cfg, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOverlappingPermutations(t *testing.T) {
+	// Heavily overlapping valid chains stay linearizable even though WGL
+	// must search through many orders.
+	f := func(seed int64) bool {
+		ops := workload.GenerateLWT(workload.LWTConfig{
+			Sessions: 8, TxnsPerSession: 8, ConcurrentFrac: 1, Keys: 1, Seed: seed,
+		})
+		return Check(ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownKindIllegal(t *testing.T) {
+	st, ok := step(state{}, core.LWT{Kind: core.LWTKind(9)})
+	if ok || st.exists {
+		t.Fatal("unknown op kind must be illegal")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(129)
+	c := b.clone()
+	if !b.equal(c) {
+		t.Fatal("clone must equal")
+	}
+	c.clear(129)
+	if b.equal(c) {
+		t.Fatal("cleared bit must differ")
+	}
+	if b.hash(state{exists: true, val: 1}) == b.hash(state{exists: true, val: 2}) {
+		t.Fatal("hash should usually differ across states")
+	}
+	_ = history.Value(0)
+}

@@ -1,0 +1,185 @@
+// Package runner is the client harness of the black-box checking workflow
+// (Figure 2, steps 1-3): it drives a workload plan against a kv.Store with
+// one goroutine per session, records each session's requests and results,
+// handles aborts with bounded retries, and combines the per-session logs
+// into a single history for verification.
+//
+// Unique write values are produced by combining the session (client)
+// identifier with a local counter, exactly as Section II-A prescribes, so
+// every committed write of a key carries a distinct value.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/workload"
+)
+
+// Config tunes an execution run.
+type Config struct {
+	// Retries bounds re-executions of a conflicted transaction (0 = give
+	// up immediately). Each retry is a fresh transaction with fresh write
+	// values.
+	Retries int
+	// KeepAborted records aborted transactions in the history (needed to
+	// detect G1a AbortedRead); defaults to true in Run.
+	DropAborted bool
+	// OpDelay simulates per-operation client/server latency as busy-loop
+	// iterations (a stand-in for the network round-trip that makes real
+	// client sessions overlap). 0 uses a default that yields the
+	// scheduler after every operation.
+	OpDelay int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	H *history.History
+	// Attempts counts executed transactions including retries; Committed
+	// those that committed.
+	Attempts  int
+	Committed int
+	Aborted   int
+}
+
+// AbortRate returns aborted / attempts for this run.
+func (r *Result) AbortRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.Aborted) / float64(r.Attempts)
+}
+
+// record is one executed transaction attempt as logged by a session.
+type record struct {
+	ops       []history.Op
+	start     int64
+	finish    int64
+	committed bool
+}
+
+// uniqueValue builds the session-scoped unique value for the n-th write of
+// session s. Sessions are capped at 1<<20 writes each.
+func uniqueValue(session, n int) history.Value {
+	return history.Value(int64(session+1)<<20 | int64(n+1))
+}
+
+// Run executes the workload against the store and returns the combined
+// history. The store is initialized with value 0 for every key in the
+// plan (the initial transaction ⊥T).
+func Run(s *kv.Store, w *workload.Workload, cfg Config) *Result {
+	s.Init(w.Keys)
+	perSession := make([][]record, len(w.Sessions))
+	start := make(chan struct{}) // barrier: all sessions begin together
+	var wg sync.WaitGroup
+	for si := range w.Sessions {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			<-start
+			perSession[si] = runSession(s, si, w.Sessions[si], cfg)
+		}(si)
+	}
+	close(start)
+	wg.Wait()
+
+	res := &Result{}
+	b := history.NewBuilder(w.Keys...)
+	for si, recs := range perSession {
+		for _, r := range recs {
+			res.Attempts++
+			if r.committed {
+				res.Committed++
+			} else {
+				res.Aborted++
+				if cfg.DropAborted {
+					continue
+				}
+			}
+			if r.committed {
+				b.TimedTxn(si, r.start, r.finish, r.ops...)
+			} else {
+				b.TimedAbortedTxn(si, r.start, r.finish, r.ops...)
+			}
+		}
+	}
+	res.H = b.Build()
+	return res
+}
+
+// runSession executes one session's transactions serially with retries.
+func runSession(s *kv.Store, si int, specs []workload.TxnSpec, cfg Config) []record {
+	var recs []record
+	values := 0
+	for _, spec := range specs {
+		for attempt := 0; ; attempt++ {
+			rec, ok := runTxn(s, si, spec, &values, cfg.OpDelay)
+			recs = append(recs, rec)
+			if ok || attempt >= cfg.Retries {
+				break
+			}
+		}
+	}
+	return recs
+}
+
+// spinSink defeats dead-code elimination of the busy-delay loop; sessions
+// write it concurrently, hence the atomic.
+var spinSink atomic.Int64
+
+// latency simulates the client-server round trip: yield the scheduler so
+// concurrent sessions interleave, plus an optional busy delay.
+func latency(spin int) {
+	runtime.Gosched()
+	var acc int64
+	for i := 0; i < spin; i++ {
+		acc += int64(i)
+	}
+	if acc != 0 {
+		spinSink.Store(acc)
+	}
+}
+
+// runTxn executes a single transaction attempt. It returns the record and
+// whether the transaction committed.
+func runTxn(s *kv.Store, session int, spec workload.TxnSpec, values *int, spin int) (record, bool) {
+	tx := s.Begin()
+	ok := true
+	for _, op := range spec.Ops {
+		latency(spin)
+		var err error
+		switch op.Kind {
+		case workload.SpecRead:
+			_, err = tx.Read(op.Key)
+		case workload.SpecWrite:
+			err = tx.Write(op.Key, uniqueValue(session, *values))
+			*values++
+		case workload.SpecRMW:
+			if _, err = tx.Read(op.Key); err == nil {
+				err = tx.Write(op.Key, uniqueValue(session, *values))
+				*values++
+			}
+		case workload.SpecAppend:
+			err = tx.Append(op.Key, uniqueValue(session, *values))
+			*values++
+		case workload.SpecReadList:
+			_, err = tx.ReadList(op.Key)
+		}
+		if err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		ok = tx.Commit() == nil
+	}
+	return record{
+		ops:       tx.Ops(),
+		start:     tx.StartTS(),
+		finish:    tx.FinishTS(),
+		committed: tx.Committed(),
+	}, ok
+}

@@ -1,0 +1,99 @@
+// Package workload provides the parametric workload generators of
+// Section V-A: the MT workload generator (the paper's contribution), a
+// Cobra-style general-transaction (GT) generator, an Elle-style
+// list-append generator, and a synthetic lightweight-transaction history
+// generator with controllable concurrency for the SSER experiments.
+//
+// Generators emit operation *specs* (which keys to touch and how); the
+// runner assigns unique write values at execution time by combining a
+// client identifier with a local counter, as in Section II-A.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DistKind names an object-access distribution (the skewness axis of
+// Figures 7, 8).
+type DistKind string
+
+// The four distributions the paper evaluates.
+const (
+	Uniform     DistKind = "uniform"
+	Zipfian     DistKind = "zipf"
+	Hotspot     DistKind = "hotspot"
+	Exponential DistKind = "exp"
+)
+
+// Distributions lists all supported kinds in the paper's order.
+func Distributions() []DistKind {
+	return []DistKind{Uniform, Zipfian, Hotspot, Exponential}
+}
+
+// Dist draws object indices in [0, n).
+type Dist interface {
+	Next(rng *rand.Rand) int
+}
+
+// NewDist constructs a distribution over n objects.
+func NewDist(kind DistKind, n int, rng *rand.Rand) Dist {
+	if n <= 0 {
+		panic("workload: distribution over zero objects")
+	}
+	switch kind {
+	case Uniform:
+		return uniformDist{n: n}
+	case Zipfian:
+		// s=1.1, v=1 mirrors common benchmark skew (YCSB-style).
+		return zipfDist{z: rand.NewZipf(rng, 1.1, 1, uint64(n-1))}
+	case Hotspot:
+		// 80% of accesses hit the hottest 20% of objects.
+		hot := n / 5
+		if hot == 0 {
+			hot = 1
+		}
+		return hotspotDist{n: n, hot: hot, frac: 0.8}
+	case Exponential:
+		return expDist{n: n, lambda: 8.0 / float64(n)}
+	default:
+		panic(fmt.Sprintf("workload: unknown distribution %q", kind))
+	}
+}
+
+type uniformDist struct{ n int }
+
+func (d uniformDist) Next(rng *rand.Rand) int { return rng.Intn(d.n) }
+
+type zipfDist struct{ z *rand.Zipf }
+
+func (d zipfDist) Next(*rand.Rand) int { return int(d.z.Uint64()) }
+
+type hotspotDist struct {
+	n, hot int
+	frac   float64
+}
+
+func (d hotspotDist) Next(rng *rand.Rand) int {
+	if rng.Float64() < d.frac {
+		return rng.Intn(d.hot)
+	}
+	if d.hot >= d.n {
+		return rng.Intn(d.n)
+	}
+	return d.hot + rng.Intn(d.n-d.hot)
+}
+
+type expDist struct {
+	n      int
+	lambda float64
+}
+
+func (d expDist) Next(rng *rand.Rand) int {
+	for {
+		x := int(rng.ExpFloat64() / d.lambda)
+		if x < d.n {
+			return x
+		}
+	}
+}

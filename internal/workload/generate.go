@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// MTConfig parameterizes the mini-transaction workload generator
+// (Section V-A1): number of sessions, transactions per session, objects,
+// and the object-access distribution.
+type MTConfig struct {
+	Sessions int
+	Txns     int // transactions per session
+	Objects  int
+	Dist     DistKind
+	Seed     int64
+	// ReadOnlyFrac is the fraction of MTs with no writes (default 0.25
+	// when zero and UseDefaults).
+	ReadOnlyFrac float64
+}
+
+// GenerateMT plans an MT workload. Each transaction is one of the five MT
+// shapes — R, RMW, R+R, R+RMW, RMW+RMW — drawn uniformly after the
+// read-only decision, so the plan exercises every anomaly-relevant shape
+// (reads, lost-update RMWs, and the read-two-write-one/two shapes needed
+// for write skew).
+func GenerateMT(cfg MTConfig) *Workload {
+	if cfg.Sessions <= 0 || cfg.Txns <= 0 || cfg.Objects <= 0 {
+		panic("workload: MTConfig requires positive sessions, txns, objects")
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = Uniform
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	dist := NewDist(cfg.Dist, cfg.Objects, rng)
+	ro := cfg.ReadOnlyFrac
+
+	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	for s := 0; s < cfg.Sessions; s++ {
+		txns := make([]TxnSpec, cfg.Txns)
+		for i := range txns {
+			k1 := KeyName(dist.Next(rng))
+			k2 := KeyName(dist.Next(rng))
+			for tries := 0; k2 == k1 && cfg.Objects > 1 && tries < 8; tries++ {
+				k2 = KeyName(dist.Next(rng))
+			}
+			readOnly := rng.Float64() < ro
+			var ops []OpSpec
+			if readOnly {
+				if rng.Intn(2) == 0 || k2 == k1 {
+					ops = []OpSpec{{SpecRead, k1}}
+				} else {
+					ops = []OpSpec{{SpecRead, k1}, {SpecRead, k2}}
+				}
+			} else {
+				switch shape := rng.Intn(3); {
+				case shape == 0 || k2 == k1: // single RMW
+					ops = []OpSpec{{SpecRMW, k1}}
+				case shape == 1: // read one, RMW the other (write-skew shape)
+					ops = []OpSpec{{SpecRead, k1}, {SpecRMW, k2}}
+				default: // double RMW
+					ops = []OpSpec{{SpecRMW, k1}, {SpecRMW, k2}}
+				}
+			}
+			txns[i] = TxnSpec{Ops: ops}
+		}
+		w.Sessions = append(w.Sessions, txns)
+	}
+	return w
+}
+
+// GTConfig parameterizes the Cobra-style general-transaction generator:
+// 20% read-only, 40% write-only and 40% RMW transactions, each with
+// OpsPerTxn operations (Section V-A1).
+type GTConfig struct {
+	Sessions  int
+	Txns      int // transactions per session
+	Objects   int
+	OpsPerTxn int
+	Dist      DistKind
+	Seed      int64
+}
+
+// GenerateGT plans a GT workload with Cobra's transaction mix.
+func GenerateGT(cfg GTConfig) *Workload {
+	if cfg.Sessions <= 0 || cfg.Txns <= 0 || cfg.Objects <= 0 || cfg.OpsPerTxn <= 0 {
+		panic("workload: GTConfig requires positive parameters")
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = Uniform
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	dist := NewDist(cfg.Dist, cfg.Objects, rng)
+
+	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	for s := 0; s < cfg.Sessions; s++ {
+		txns := make([]TxnSpec, cfg.Txns)
+		for i := range txns {
+			var ops []OpSpec
+			switch p := rng.Float64(); {
+			case p < 0.2: // read-only
+				for j := 0; j < cfg.OpsPerTxn; j++ {
+					ops = append(ops, OpSpec{SpecRead, KeyName(dist.Next(rng))})
+				}
+			case p < 0.6: // write-only
+				for j := 0; j < cfg.OpsPerTxn; j++ {
+					ops = append(ops, OpSpec{SpecWrite, KeyName(dist.Next(rng))})
+				}
+			default: // RMW: each spec contributes a read and a write
+				for j := 0; j < cfg.OpsPerTxn/2; j++ {
+					ops = append(ops, OpSpec{SpecRMW, KeyName(dist.Next(rng))})
+				}
+				if len(ops) == 0 {
+					ops = append(ops, OpSpec{SpecRMW, KeyName(dist.Next(rng))})
+				}
+			}
+			txns[i] = TxnSpec{Ops: ops}
+		}
+		w.Sessions = append(w.Sessions, txns)
+	}
+	return w
+}
+
+// ListAppendConfig parameterizes the Elle-style list-append generator.
+type ListAppendConfig struct {
+	Sessions  int
+	Txns      int // transactions per session
+	Objects   int
+	MaxTxnLen int // maximum operations per transaction
+	Dist      DistKind
+	Seed      int64
+}
+
+// GenerateListAppend plans a list-append workload: each transaction mixes
+// appends and list reads over MaxTxnLen operations (length drawn
+// uniformly in [1, MaxTxnLen]).
+func GenerateListAppend(cfg ListAppendConfig) *Workload {
+	if cfg.Sessions <= 0 || cfg.Txns <= 0 || cfg.Objects <= 0 || cfg.MaxTxnLen <= 0 {
+		panic("workload: ListAppendConfig requires positive parameters")
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = Uniform
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	dist := NewDist(cfg.Dist, cfg.Objects, rng)
+
+	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	for s := 0; s < cfg.Sessions; s++ {
+		txns := make([]TxnSpec, cfg.Txns)
+		for i := range txns {
+			n := 1 + rng.Intn(cfg.MaxTxnLen)
+			ops := make([]OpSpec, n)
+			for j := range ops {
+				k := KeyName(dist.Next(rng))
+				if rng.Intn(2) == 0 {
+					ops[j] = OpSpec{SpecAppend, k}
+				} else {
+					ops[j] = OpSpec{SpecReadList, k}
+				}
+			}
+			txns[i] = TxnSpec{Ops: ops}
+		}
+		w.Sessions = append(w.Sessions, txns)
+	}
+	return w
+}
+
+// RWRegisterConfig parameterizes an Elle-style read-write-register
+// workload: like GT but with a maximum transaction length and a 50/50
+// read/write mix, matching the "elle-wr" configuration of Figure 13.
+type RWRegisterConfig struct {
+	Sessions  int
+	Txns      int
+	Objects   int
+	MaxTxnLen int
+	Dist      DistKind
+	Seed      int64
+}
+
+// GenerateRWRegister plans the read-write-register workload.
+func GenerateRWRegister(cfg RWRegisterConfig) *Workload {
+	if cfg.Sessions <= 0 || cfg.Txns <= 0 || cfg.Objects <= 0 || cfg.MaxTxnLen <= 0 {
+		panic("workload: RWRegisterConfig requires positive parameters")
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = Uniform
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	dist := NewDist(cfg.Dist, cfg.Objects, rng)
+
+	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	for s := 0; s < cfg.Sessions; s++ {
+		txns := make([]TxnSpec, cfg.Txns)
+		for i := range txns {
+			n := 1 + rng.Intn(cfg.MaxTxnLen)
+			ops := make([]OpSpec, n)
+			for j := range ops {
+				k := KeyName(dist.Next(rng))
+				if rng.Intn(2) == 0 {
+					ops[j] = OpSpec{SpecRead, k}
+				} else {
+					ops[j] = OpSpec{SpecWrite, k}
+				}
+			}
+			txns[i] = TxnSpec{Ops: ops}
+		}
+		w.Sessions = append(w.Sessions, txns)
+	}
+	return w
+}

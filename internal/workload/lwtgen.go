@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+)
+
+// LWTConfig parameterizes the synthetic lightweight-transaction history
+// generator of Section V-A2: a valid (linearizable) SSER history whose
+// concurrency level is controlled directly, since adjusting black-box
+// workload parameters cannot predictably control concurrency.
+type LWTConfig struct {
+	Sessions       int
+	TxnsPerSession int
+	// ConcurrentFrac is the fraction of sessions whose operations get
+	// overlapping real-time intervals (0..1). 1.0 reproduces the paper's
+	// "extreme concurrency where all clients execute simultaneously".
+	ConcurrentFrac float64
+	Keys           int // number of independent registers (default 1)
+	Seed           int64
+	// Violate injects one real-time violation per key when true, turning
+	// the history non-linearizable.
+	Violate bool
+}
+
+// GenerateLWT builds a synthetic LWT history. Per key it lays down a valid
+// CAS chain (one insert followed by R&W operations), assigns operations
+// round-robin to sessions, and widens the intervals of operations owned by
+// "concurrent" sessions so they overlap their chain neighbours. The
+// resulting history is linearizable by construction unless Violate is set.
+func GenerateLWT(cfg LWTConfig) []core.LWT {
+	if cfg.Sessions <= 0 || cfg.TxnsPerSession <= 0 {
+		panic("workload: LWTConfig requires positive sessions and txns")
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	concurrent := make([]bool, cfg.Sessions)
+	for s := range concurrent {
+		concurrent[s] = float64(s) < cfg.ConcurrentFrac*float64(cfg.Sessions)
+	}
+
+	total := cfg.Sessions * cfg.TxnsPerSession
+	perKey := total / cfg.Keys
+	if perKey == 0 {
+		perKey = 1
+	}
+	var ops []core.LWT
+	id := 0
+	session := 0
+	for k := 0; k < cfg.Keys; k++ {
+		key := KeyName(k)
+		var t int64 = 10
+		// Insert heads the chain.
+		ops = append(ops, core.LWT{
+			ID: id, Key: key, Kind: core.LWTInsert, Write: 0,
+			Start: t, Finish: t + 4,
+		})
+		id++
+		t += 10
+		prev := history.Value(0)
+		for i := 1; i <= perKey; i++ {
+			start, finish := t, t+4
+			if concurrent[session] {
+				// Overlap with neighbours: start may precede the previous
+				// operation's finish, finish may extend into successors -
+				// but never past the point where start would exceed a
+				// successor's finish (which would break linearizability).
+				start -= int64(rng.Intn(12))
+				finish += int64(rng.Intn(4))
+			}
+			if start < 1 {
+				start = 1
+			}
+			ops = append(ops, core.LWT{
+				ID: id, Key: key, Kind: core.LWTRW,
+				Read: prev, Write: history.Value(i),
+				Start: start, Finish: finish,
+			})
+			prev = history.Value(i)
+			id++
+			t += 10
+			session = (session + 1) % cfg.Sessions
+		}
+		if cfg.Violate && perKey >= 2 {
+			// Push one mid-chain operation entirely after its successors.
+			i := len(ops) - 1 - rng.Intn(perKey-1) - 1
+			ops[i].Start += int64(perKey * 20)
+			ops[i].Finish = ops[i].Start + 4
+		}
+	}
+	// Presentation order must not matter to checkers.
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// TargetedConfig parameterizes the anomaly-guided MT generator, one of the
+// paper's future-work directions (Section VII): instead of drawing MT
+// shapes uniformly, sessions repeatedly emit the access patterns that the
+// Figure-5 anomalies require, concentrated on a small hot set so the
+// racing transactions actually collide.
+type TargetedConfig struct {
+	Sessions int
+	Txns     int // transactions per session
+	Objects  int // total objects; the hot set is min(2, Objects)
+	Seed     int64
+}
+
+// GenerateTargeted plans an anomaly-guided MT workload. Each transaction
+// is drawn from the shapes that the 14 anomalies need:
+//
+//   - RMW on a hot key            (lost update / divergence races)
+//   - R(a) R(b) + W(b)            (write skew halves)
+//   - RMW(a) RMW(b)               (fractured read / long fork sources)
+//   - R(a) R(b)                   (long fork / causality observers)
+//   - R(a)                        (session-guarantee observers)
+//
+// concentrated on two hot keys, with an occasional uniform cold access to
+// keep version chains growing everywhere.
+func GenerateTargeted(cfg TargetedConfig) *Workload {
+	if cfg.Sessions <= 0 || cfg.Txns <= 0 || cfg.Objects <= 0 {
+		panic("workload: TargetedConfig requires positive parameters")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	hotA := KeyName(0)
+	hotB := hotA
+	if cfg.Objects > 1 {
+		hotB = KeyName(1)
+	}
+	cold := func() OpSpec {
+		return OpSpec{SpecRMW, KeyName(rng.Intn(cfg.Objects))}
+	}
+	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	for s := 0; s < cfg.Sessions; s++ {
+		txns := make([]TxnSpec, cfg.Txns)
+		for i := range txns {
+			a, b := hotA, hotB
+			if rng.Intn(2) == 0 {
+				a, b = b, a
+			}
+			var ops []OpSpec
+			switch rng.Intn(6) {
+			case 0: // racing RMW on a hot key (lost update)
+				ops = []OpSpec{{SpecRMW, a}}
+			case 1: // write-skew half: read both, write one
+				ops = []OpSpec{{SpecRead, a}, {SpecRMW, b}}
+			case 2: // double update (fractured-read source)
+				if a == b {
+					ops = []OpSpec{{SpecRMW, a}}
+				} else {
+					ops = []OpSpec{{SpecRMW, a}, {SpecRMW, b}}
+				}
+			case 3: // observer of both hot keys (long fork / causality)
+				if a == b {
+					ops = []OpSpec{{SpecRead, a}}
+				} else {
+					ops = []OpSpec{{SpecRead, a}, {SpecRead, b}}
+				}
+			case 4: // single observer (session guarantees)
+				ops = []OpSpec{{SpecRead, a}}
+			default: // cold refresh
+				ops = []OpSpec{cold()}
+			}
+			txns[i] = TxnSpec{Ops: ops}
+		}
+		w.Sessions = append(w.Sessions, txns)
+	}
+	return w
+}
