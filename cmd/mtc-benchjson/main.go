@@ -1,0 +1,101 @@
+// Command mtc-benchjson converts `go test -bench` output on stdin into a
+// benchmark-data JSON snapshot (the format the github-action-benchmark /
+// go-benchmark-data tooling consumes), so CI can append one dated file
+// per run and the performance trajectory of the checkers stays
+// trackable.
+//
+//	go test -run '^$' -bench . -benchmem . | mtc-benchjson -out BENCH_$(date +%F).json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// Snapshot is the file payload: one CI run's benchmark set.
+type Snapshot struct {
+	Date    string  `json:"date"`
+	Commit  string  `json:"commit,omitempty"`
+	Tool    string  `json:"tool"`
+	Benches []Bench `json:"benches"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkBatchSER10k-8   	      24	  46519241 ns/op	 1234 B/op	  12 allocs/op"
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit id recorded in the snapshot")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Commit: *commit,
+		Tool:   "go",
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: m[1], Value: v, Unit: "ns/op", Extra: m[2] + " times"}
+		snap.Benches = append(snap.Benches, b)
+		if m[4] != "" {
+			if bytes, err := strconv.ParseFloat(m[4], 64); err == nil {
+				snap.Benches = append(snap.Benches, Bench{Name: m[1] + "/alloc", Value: bytes, Unit: "B/op"})
+			}
+			if allocs, err := strconv.ParseFloat(m[5], 64); err == nil {
+				snap.Benches = append(snap.Benches, Bench{Name: m[1] + "/allocs", Value: allocs, Unit: "allocs/op"})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "mtc-benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "mtc-benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d benches to %s\n", len(snap.Benches), *out)
+	}
+}

@@ -1,13 +1,19 @@
 // Command mtc-serve exposes MTC as checking-as-a-service over HTTP — the
 // IsoVista integration the paper lists as future work (Section VII). It
-// accepts histories as JSON and returns verdicts with counterexamples.
+// accepts histories as JSON and returns verdicts with counterexamples;
+// engines resolve through the checker registry, and streaming sessions
+// verify transactions as they commit.
 //
-//	mtc-serve -addr :8080
+//	mtc-serve -addr :8080 [-checker mtc]
 //
+//	GET  /checkers                                    -> registered engines
 //	POST /check?level=SI        body: history JSON    -> verdict JSON
 //	POST /check?level=SER&checker=cobra               -> verdict JSON
-//	GET  /fixtures                                    -> the 14 anomaly names
+//	GET  /fixtures                                    -> the anomaly fixture names
 //	GET  /fixtures/{name}?level=SER                   -> verdict on a fixture
+//	POST /sessions              {"level":"SI","keys":["x"]}
+//	POST /sessions/{id}/txns    body: txn or [txn...] -> verdict so far
+//	GET  /sessions/{id}/verdict?final=1               -> final verdict
 //	GET  /healthz
 package main
 
@@ -16,13 +22,19 @@ import (
 	"log"
 	"net/http"
 
+	"mtc/internal/checker"
 	"mtc/internal/mtcserve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	def := flag.String("checker", "mtc", "default checker for /check (resolved via the registry)")
 	flag.Parse()
-	srv := &http.Server{Addr: *addr, Handler: mtcserve.Handler()}
-	log.Printf("mtc-serve listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	if _, err := checker.Lookup(*def); err != nil {
+		log.Fatalf("mtc-serve: %v", err)
+	}
+	srv := mtcserve.NewServer(nil)
+	srv.DefaultChecker = *def
+	log.Printf("mtc-serve listening on %s (default checker %s, registered: %v)", *addr, *def, checker.Names())
+	log.Fatal((&http.Server{Addr: *addr, Handler: srv.Handler()}).ListenAndServe())
 }

@@ -1,21 +1,27 @@
 // Command mtc runs the full end-to-end black-box isolation checking
 // workflow of Figure 2: generate an MT workload, execute it against the
 // in-memory transactional store (optionally with an injected production
-// bug), and verify the resulting history at the requested isolation level.
+// bug), and verify the resulting history at the requested isolation level
+// with any registered checker.
 //
 // Examples:
 //
 //	mtc -level SI -sessions 10 -txns 100 -objects 20
 //	mtc -level SER -bug postgresql-12.3 -seed 3
+//	mtc -level SER -checker cobra
+//	mtc -level SI -stream -bug mariadb-galera-10.7.3
 //	mtc -level SSER -lwt -sessions 8 -txns 50
 //	mtc -level SI -out history.json
+//	mtc -checkers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"mtc/internal/checker"
 	"mtc/internal/core"
 	"mtc/internal/faults"
 	"mtc/internal/history"
@@ -26,23 +32,36 @@ import (
 
 func main() {
 	var (
-		level    = flag.String("level", "SI", "isolation level to check: SSER, SER or SI")
-		sessions = flag.Int("sessions", 10, "number of client sessions")
-		txns     = flag.Int("txns", 100, "transactions per session")
-		objects  = flag.Int("objects", 20, "number of objects")
-		dist     = flag.String("dist", "uniform", "object-access distribution: uniform, zipf, hotspot, exp")
-		seed     = flag.Int64("seed", 1, "workload and fault seed")
-		retries  = flag.Int("retries", 8, "retries per aborted transaction")
-		bug      = flag.String("bug", "", "inject a Table II bug (see -bugs)")
-		listBugs = flag.Bool("bugs", false, "list injectable bugs and exit")
-		lwt      = flag.Bool("lwt", false, "use lightweight transactions (CAS) and the linear-time SSER checker")
-		out      = flag.String("out", "", "save the generated history to this JSON file")
+		level        = flag.String("level", "SI", "isolation level to check: SSER, SER or SI")
+		checkerName  = flag.String("checker", "mtc", "verification engine (see -checkers)")
+		listCheckers = flag.Bool("checkers", false, "list registered checkers and exit")
+		stream       = flag.Bool("stream", false, "verify online while the run executes (incremental checker; SER or SI)")
+		sessions     = flag.Int("sessions", 10, "number of client sessions")
+		txns         = flag.Int("txns", 100, "transactions per session")
+		objects      = flag.Int("objects", 20, "number of objects")
+		dist         = flag.String("dist", "uniform", "object-access distribution: uniform, zipf, hotspot, exp")
+		seed         = flag.Int64("seed", 1, "workload and fault seed")
+		retries      = flag.Int("retries", 8, "retries per aborted transaction")
+		bug          = flag.String("bug", "", "inject a Table II bug (see -bugs)")
+		listBugs     = flag.Bool("bugs", false, "list injectable bugs and exit")
+		lwt          = flag.Bool("lwt", false, "use lightweight transactions (CAS) and the linear-time SSER checker")
+		out          = flag.String("out", "", "save the generated history to this JSON file")
 	)
 	flag.Parse()
 
 	if *listBugs {
 		for _, b := range faults.Bugs() {
 			fmt.Printf("%-24s %-20s violates %-4s  (%s)\n", b.Name, b.Anomaly, b.Claimed, b.Report)
+		}
+		return
+	}
+	if *listCheckers {
+		for _, c := range checker.Default.All() {
+			var lvls []string
+			for _, l := range c.Levels() {
+				lvls = append(lvls, string(l))
+			}
+			fmt.Printf("%-16s levels: %s\n", c.Name(), strings.Join(lvls, ", "))
 		}
 		return
 	}
@@ -56,6 +75,12 @@ func main() {
 
 	store, claimed := buildStore(lvl, *bug, *seed)
 	if *lwt {
+		if *stream {
+			fatalf("-lwt runs the VLLWT pipeline; it cannot be combined with -stream")
+		}
+		if *checkerName != "mtc" {
+			fatalf("-lwt runs the VLLWT pipeline; it cannot run -checker %s", *checkerName)
+		}
 		runLWTPipeline(store, *sessions, *txns, *seed)
 		return
 	}
@@ -64,6 +89,15 @@ func main() {
 		Sessions: *sessions, Txns: *txns, Objects: *objects,
 		Dist: workload.DistKind(*dist), Seed: *seed, ReadOnlyFrac: 0.25,
 	})
+
+	if *stream {
+		if *checkerName != "mtc" && *checkerName != "mtc-incremental" {
+			fatalf("-stream verifies with the incremental MTC engine; it cannot run -checker %s", *checkerName)
+		}
+		runStreaming(store, w, *retries, claimed, *out)
+		return
+	}
+
 	res := runner.Run(store, w, runner.Config{Retries: *retries})
 	fmt.Printf("history: %d committed, %d aborted (abort rate %.1f%%)\n",
 		res.Committed, res.Aborted, res.AbortRate()*100)
@@ -75,9 +109,74 @@ func main() {
 		fmt.Printf("saved history to %s\n", *out)
 	}
 
-	r := core.Check(res.H, claimed)
-	fmt.Println(r.Explain())
-	if !r.OK {
+	v, err := checker.Run(*checkerName, res.H, checker.Options{Level: claimed})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if v.Err != "" {
+		fatalf("%s: %s", *checkerName, v.Err)
+	}
+	explain(v)
+	if !v.OK {
+		os.Exit(1)
+	}
+}
+
+// explain prints a verdict like core.Result.Explain for every engine.
+func explain(v checker.Verdict) {
+	if v.OK {
+		fmt.Printf("[%s] history satisfies %s (%d txns", v.Checker, v.Level, v.Txns)
+		if v.Edges > 0 {
+			fmt.Printf(", %d dependency edges", v.Edges)
+		}
+		fmt.Println(")")
+		if v.Detail != "" {
+			fmt.Printf("  %s\n", v.Detail)
+		}
+		return
+	}
+	fmt.Printf("[%s] history VIOLATES %s:\n", v.Checker, v.Level)
+	const maxShown = 5
+	for i, a := range v.Anomalies {
+		if i == maxShown {
+			fmt.Printf("  ... and %d more anomalies\n", len(v.Anomalies)-maxShown)
+			break
+		}
+		fmt.Printf("  %s\n", a)
+	}
+	if v.Detail != "" {
+		fmt.Printf("  %s\n", v.Detail)
+	}
+}
+
+// runStreaming verifies the run online, reporting the violation at the
+// commit that introduced it.
+func runStreaming(store *kv.Store, w *workload.Workload, retries int, lvl core.Level, out string) {
+	if lvl == core.SSER {
+		fatalf("-stream supports SER and SI (SSER needs the full real-time order); use the batch checker")
+	}
+	res := runner.RunStream(store, w, runner.Config{Retries: retries}, lvl)
+	fmt.Printf("history: %d committed, %d aborted (abort rate %.1f%%)\n",
+		res.Committed, res.Aborted, res.AbortRate()*100)
+	if out != "" {
+		if err := history.SaveFile(out, res.H); err != nil {
+			fatalf("save: %v", err)
+		}
+		fmt.Printf("saved history to %s\n", out)
+	}
+	if !res.Verdict.OK {
+		if res.ViolationAt > 0 {
+			fmt.Printf("violation detected online at transaction %d of the stream", res.ViolationAt)
+			if res.EarlyAborted {
+				fmt.Printf(" (run aborted early)")
+			}
+			fmt.Println()
+		} else {
+			fmt.Println("violation detected at stream end (unresolved read)")
+		}
+	}
+	fmt.Println(res.Verdict.Explain())
+	if !res.Verdict.OK {
 		os.Exit(1)
 	}
 }

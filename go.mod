@@ -1,0 +1,3 @@
+module mtc
+
+go 1.24

@@ -1,0 +1,108 @@
+// incremental_bench_test.go benchmarks the online incremental checker
+// against the batch MTC algorithms on a 10k-transaction history (the
+// acceptance bar of the unified-checker refactor), plus the per-commit
+// streaming cost of feeding an Incremental one transaction at a time.
+package main
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/runner"
+	"mtc/internal/workload"
+)
+
+var (
+	bigOnce sync.Once
+	bigHist *history.History // >= 10k committed txns, serializable store
+)
+
+func setupBig(b *testing.B) {
+	bigOnce.Do(func() {
+		s := kv.NewStore(kv.ModeSerializable)
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 10, Txns: 1200, Objects: 200,
+			Dist: workload.Zipfian, Seed: 5, ReadOnlyFrac: 0.2,
+		})
+		bigHist = runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
+	})
+	if len(bigHist.Txns) < 10000 {
+		b.Fatalf("big history too small: %d txns", len(bigHist.Txns))
+	}
+}
+
+func BenchmarkBatchSER10k(b *testing.B) {
+	setupBig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.CheckSER(bigHist).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+func BenchmarkIncrementalSER10k(b *testing.B) {
+	setupBig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.CheckIncremental(bigHist, core.SER).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+func BenchmarkBatchSI10k(b *testing.B) {
+	setupBig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.CheckSI(bigHist).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+func BenchmarkIncrementalSI10k(b *testing.B) {
+	setupBig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.CheckIncremental(bigHist, core.SI).OK {
+			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+// BenchmarkIncrementalPerCommit measures the amortized cost of one Add on
+// a live stream (commit order), the number that bounds checker-side
+// latency under production traffic.
+func BenchmarkIncrementalPerCommit(b *testing.B) {
+	setupBig(b)
+	keys := make([]history.Key, 0, len(bigHist.Txns[0].Ops))
+	for _, op := range bigHist.Txns[0].Ops {
+		keys = append(keys, op.Key)
+	}
+	// Feed in commit order, as a live stream delivers.
+	order := make([]int, 0, len(bigHist.Txns)-1)
+	for j := 1; j < len(bigHist.Txns); j++ {
+		order = append(order, j)
+	}
+	sort.Slice(order, func(a, c int) bool {
+		return bigHist.Txns[order[a]].Finish < bigHist.Txns[order[c]].Finish
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		inc := core.NewIncremental(core.SER)
+		inc.InitTxn(keys...)
+		for _, j := range order {
+			if vio := inc.Add(bigHist.Txns[j]); vio != nil {
+				b.Fatal("valid stream rejected")
+			}
+			if i++; i >= b.N {
+				break
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig9a", "fig9b",
 		"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 		"fig11a", "fig11b",
+		"incr", "incrdet",
 		"table2",
 		"fig13a", "fig13b", "fig14a", "fig14b",
 		"fig17a", "fig17b", "fig17c", "fig17d", "fig17e", "fig17f",
@@ -227,6 +228,38 @@ func TestFig7SweepAxesTinyScale(t *testing.T) {
 	for _, id := range []string{"fig7b", "fig7c", "fig8c"} {
 		if rows := ByID(id).Run(0.03); len(rows) == 0 {
 			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestIncrTinyScaleRuns(t *testing.T) {
+	rows := ByID("incr").Run(0.05)
+	if len(rows) != 16 { // 4 sizes x 4 series
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Value < 0 {
+			t.Fatalf("negative time %v", r)
+		}
+	}
+}
+
+func TestIncrDetTinyScaleRuns(t *testing.T) {
+	rows := ByID("incrdet").Run(0.1)
+	// Detection must never be later than the full history.
+	byBug := map[string][2]float64{}
+	for _, r := range rows {
+		v := byBug[r.X]
+		if r.Series == "incremental" {
+			v[0] = r.Value
+		} else {
+			v[1] = r.Value
+		}
+		byBug[r.X] = v
+	}
+	for bug, v := range byBug {
+		if v[0] > v[1] {
+			t.Fatalf("%s: incremental detected at %v, after the full history %v", bug, v[0], v[1])
 		}
 	}
 }

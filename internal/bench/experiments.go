@@ -35,6 +35,7 @@ func All() []Experiment {
 		fig10or17("fig10e", "End-to-end SER: memory vs #ops/txn", core.SER, axisOps, true),
 		fig10or17("fig10f", "End-to-end SER: memory vs #objects", core.SER, axisObjects, true),
 		fig11a(), fig11b(),
+		incrementalExp(), detectionExp(),
 		table2(),
 		fig13("fig13a", core.SER), fig13("fig13b", core.SI),
 		fig14("fig14a", core.SER), fig14("fig14b", core.SI),

@@ -1,0 +1,189 @@
+package checker
+
+import (
+	"fmt"
+
+	"mtc/internal/cobra"
+	"mtc/internal/core"
+	"mtc/internal/elle"
+	"mtc/internal/graph"
+	"mtc/internal/history"
+	"mtc/internal/polysi"
+	"mtc/internal/porcupine"
+)
+
+func init() {
+	Register(mtcChecker{})
+	Register(incrementalChecker{})
+	Register(cobraChecker{})
+	Register(polysiChecker{})
+	Register(elleChecker{})
+	Register(porcupineChecker{})
+}
+
+// fromResult normalises a core.Result.
+func fromResult(name string, r core.Result) Verdict {
+	v := Verdict{
+		Checker: name, Level: r.Level, OK: r.OK,
+		Txns: r.NumTxns, Edges: r.NumEdges,
+		Anomalies: r.Anomalies, Cycle: r.Cycle,
+	}
+	if r.Divergence != nil {
+		v.Detail = r.Divergence.String()
+	}
+	if len(r.Cycle) > 0 {
+		v.Detail = graph.FormatCycle(r.Cycle)
+	}
+	return v
+}
+
+// mtcChecker serves the paper's batch MTC algorithms (Section IV).
+type mtcChecker struct{}
+
+func (mtcChecker) Name() string    { return "mtc" }
+func (mtcChecker) Levels() []Level { return []Level{core.SI, core.SER, core.SSER} }
+
+func (mtcChecker) Check(h *history.History, opts Options) Verdict {
+	copts := core.Options{SkipPreCheck: opts.SkipPreCheck, SparseRT: opts.SparseRT}
+	var r core.Result
+	switch opts.Level {
+	case core.SSER:
+		r = core.CheckSSEROpt(h, copts)
+	case core.SER:
+		r = core.CheckSEROpt(h, copts)
+	default:
+		r = core.CheckSIOpt(h, copts)
+	}
+	return fromResult("mtc", r)
+}
+
+// incrementalChecker replays the history through the online engine; on
+// live streams the same engine is driven directly (core.Incremental).
+type incrementalChecker struct{}
+
+func (incrementalChecker) Name() string    { return "mtc-incremental" }
+func (incrementalChecker) Levels() []Level { return []Level{core.SI, core.SER} }
+
+func (incrementalChecker) Check(h *history.History, opts Options) Verdict {
+	return fromResult("mtc-incremental", core.CheckIncremental(h, opts.Level))
+}
+
+// cobraChecker serves the Cobra SER baseline.
+type cobraChecker struct{}
+
+func (cobraChecker) Name() string    { return "cobra" }
+func (cobraChecker) Levels() []Level { return []Level{core.SER} }
+
+func (cobraChecker) Check(h *history.History, opts Options) Verdict {
+	rep := cobra.CheckSER(h)
+	return Verdict{
+		Checker: "cobra", Level: core.SER, OK: rep.OK,
+		Txns: len(h.Txns), Anomalies: rep.Anomalies,
+		Detail: fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual),
+	}
+}
+
+// polysiChecker serves the PolySI SI baseline.
+type polysiChecker struct{}
+
+func (polysiChecker) Name() string    { return "polysi" }
+func (polysiChecker) Levels() []Level { return []Level{core.SI} }
+
+func (polysiChecker) Check(h *history.History, opts Options) Verdict {
+	rep := polysi.CheckSI(h)
+	return Verdict{
+		Checker: "polysi", Level: core.SI, OK: rep.OK,
+		Txns: len(h.Txns), Anomalies: rep.Anomalies,
+		Detail: fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual),
+	}
+}
+
+// elleChecker serves Elle's read-write-register mode.
+type elleChecker struct{}
+
+func (elleChecker) Name() string    { return "elle" }
+func (elleChecker) Levels() []Level { return []Level{core.SER, core.SI} }
+
+func (elleChecker) Check(h *history.History, opts Options) Verdict {
+	rep := elle.CheckRWRegister(h, elle.Level(opts.Level))
+	v := Verdict{
+		Checker: "elle", Level: opts.Level, OK: rep.OK,
+		Txns: len(h.Txns), Cycle: rep.Cycle, Detail: rep.Reason,
+	}
+	if len(rep.Cycle) > 0 {
+		v.Detail = graph.FormatCycle(rep.Cycle)
+	}
+	return v
+}
+
+// porcupineChecker serves the Porcupine (WGL) linearizability baseline
+// over the lightweight-transaction path: the history must be LWT-shaped —
+// every committed transaction a single-key insert (one blind write) or
+// compare-and-set (read then write of the read key).
+type porcupineChecker struct{}
+
+func (porcupineChecker) Name() string    { return "porcupine" }
+func (porcupineChecker) Levels() []Level { return []Level{core.SSER} }
+
+func (porcupineChecker) Check(h *history.History, opts Options) Verdict {
+	ops, err := LWTFromHistory(h)
+	if err != nil {
+		return Verdict{Checker: "porcupine", Level: core.SSER, Txns: len(h.Txns), Err: err.Error()}
+	}
+	ok := porcupine.Check(ops)
+	v := Verdict{Checker: "porcupine", Level: core.SSER, OK: ok, Txns: len(h.Txns)}
+	if !ok {
+		v.Detail = "history is not linearizable (WGL search exhausted)"
+	}
+	return v
+}
+
+// LWTFromHistory converts an LWT-shaped history into the operation list
+// the Porcupine and VLLWT checkers consume. The initial transaction, when
+// present, becomes one insert per key; every other committed transaction
+// must write exactly one key once, either blindly (insert) or after
+// reading that same key (compare-and-set). Aborted transactions are
+// dropped — a failed CAS is equivalent to a read and never joins a write
+// chain.
+func LWTFromHistory(h *history.History) ([]core.LWT, error) {
+	var ops []core.LWT
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		if !t.Committed {
+			continue
+		}
+		if h.HasInit && i == 0 {
+			for _, op := range t.Ops {
+				ops = append(ops, core.LWT{
+					ID: len(ops), Key: op.Key, Kind: core.LWTInsert, Write: op.Value,
+					Start: t.Start, Finish: t.Finish,
+				})
+			}
+			continue
+		}
+		var writes, reads []history.Op
+		for _, op := range t.Ops {
+			if op.Kind == history.OpWrite {
+				writes = append(writes, op)
+			} else {
+				reads = append(reads, op)
+			}
+		}
+		if len(writes) != 1 {
+			return nil, fmt.Errorf("txn %d is not LWT-shaped: %d writes (want exactly 1)", i, len(writes))
+		}
+		w := writes[0]
+		o := core.LWT{ID: len(ops), Key: w.Key, Write: w.Value, Start: t.Start, Finish: t.Finish}
+		switch {
+		case len(reads) == 0:
+			o.Kind = core.LWTInsert
+		case len(reads) == 1 && reads[0].Key == w.Key:
+			o.Kind = core.LWTRW
+			o.Read = reads[0].Value
+		default:
+			return nil, fmt.Errorf("txn %d is not LWT-shaped: reads must be a single read of the written key", i)
+		}
+		ops = append(ops, o)
+	}
+	return ops, nil
+}

@@ -1,0 +1,172 @@
+// Package checker defines the uniform checker abstraction every
+// verification engine in this repository is served through: a Checker
+// interface (name, supported isolation levels, a Check entry point over
+// *history.History), a Verdict type normalising the engines' disparate
+// report structs, and a Registry. The five engines — the paper's
+// linear-time MTC algorithms, the incremental online variant, the
+// Cobra and PolySI polygraph baselines, Elle's register mode, and
+// Porcupine over the lightweight-transaction path — register themselves
+// in the default registry, so cmd/mtc, cmd/mtc-serve and internal/bench
+// select engines by name instead of hard-coding entry points.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mtc/internal/core"
+	"mtc/internal/graph"
+	"mtc/internal/history"
+)
+
+// Level names an isolation level. The values coincide with core.Level so
+// adapters convert freely.
+type Level = core.Level
+
+// Options tunes a checker run.
+type Options struct {
+	// Level selects the isolation level to check. Empty selects the
+	// checker's default (the first of its Levels).
+	Level Level
+	// SkipPreCheck disables the INT/G1 pre-pass where the engine supports
+	// it (the MTC engines).
+	SkipPreCheck bool
+	// SparseRT selects the O(n log n) sparse real-time encoding for SSER
+	// on the MTC engine.
+	SparseRT bool
+}
+
+// Verdict is the normalised outcome of a checker run.
+type Verdict struct {
+	Checker   string            `json:"checker"`
+	Level     Level             `json:"level"`
+	OK        bool              `json:"ok"`
+	Txns      int               `json:"txns"`
+	Edges     int               `json:"edges,omitempty"`
+	Anomalies []history.Anomaly `json:"-"`
+	Cycle     []graph.Edge      `json:"-"`
+	// Detail carries the engine-specific account: a counterexample
+	// rendering, solver statistics, or the divergence witness.
+	Detail string `json:"detail,omitempty"`
+	// Err is non-empty when the engine could not process the history at
+	// all (e.g. Porcupine on a history that is not LWT-shaped); OK is
+	// false in that case.
+	Err string `json:"error,omitempty"`
+}
+
+// Checker is one verification engine.
+type Checker interface {
+	// Name is the registry key, e.g. "mtc" or "cobra".
+	Name() string
+	// Levels lists the supported isolation levels, default first.
+	Levels() []Level
+	// Check verifies the history at opts.Level (which the Registry
+	// guarantees is one of Levels when dispatching through Run).
+	Check(h *history.History, opts Options) Verdict
+}
+
+// Registry maps checker names to engines. The zero value is ready to
+// use; it is safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Checker
+}
+
+// Register adds c, replacing any previous checker of the same name.
+func (r *Registry) Register(c Checker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[string]Checker)
+	}
+	r.m[c.Name()] = c
+}
+
+// Lookup returns the named checker, or an error naming the registered
+// alternatives.
+func (r *Registry) Lookup(name string) (Checker, error) {
+	r.mu.RLock()
+	c, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("checker: unknown checker %q (have %s)", name, strings.Join(r.Names(), ", "))
+	}
+	return c, nil
+}
+
+// Names returns the sorted registered names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered checkers sorted by name.
+func (r *Registry) All() []Checker {
+	var out []Checker
+	for _, n := range r.Names() {
+		c, _ := r.Lookup(n)
+		out = append(out, c)
+	}
+	return out
+}
+
+// Run resolves name, applies the level default, validates the level
+// against the checker's Levels, and dispatches. The returned error marks
+// caller mistakes (unknown checker, unsupported level) as opposed to
+// verification failures, which land in the Verdict.
+func (r *Registry) Run(name string, h *history.History, opts Options) (Verdict, error) {
+	c, err := r.Lookup(name)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if opts.Level == "" {
+		opts.Level = c.Levels()[0]
+	}
+	if !supports(c, opts.Level) {
+		return Verdict{}, fmt.Errorf("checker: %s does not support level %q (supports %s)",
+			c.Name(), opts.Level, levelNames(c.Levels()))
+	}
+	return c.Check(h, opts), nil
+}
+
+func supports(c Checker, lvl Level) bool {
+	for _, l := range c.Levels() {
+		if l == lvl {
+			return true
+		}
+	}
+	return false
+}
+
+func levelNames(levels []Level) string {
+	names := make([]string, len(levels))
+	for i, l := range levels {
+		names[i] = string(l)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Default is the process-wide registry the engines register into.
+var Default = &Registry{}
+
+// Register adds c to the default registry.
+func Register(c Checker) { Default.Register(c) }
+
+// Lookup resolves a name in the default registry.
+func Lookup(name string) (Checker, error) { return Default.Lookup(name) }
+
+// Names lists the default registry's checker names.
+func Names() []string { return Default.Names() }
+
+// Run dispatches on the default registry.
+func Run(name string, h *history.History, opts Options) (Verdict, error) {
+	return Default.Run(name, h, opts)
+}

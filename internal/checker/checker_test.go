@@ -1,0 +1,191 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+)
+
+// TestRegistryContents checks that all engines register under their
+// documented names with the documented levels.
+func TestRegistryContents(t *testing.T) {
+	want := map[string][]Level{
+		"mtc":             {core.SI, core.SER, core.SSER},
+		"mtc-incremental": {core.SI, core.SER},
+		"cobra":           {core.SER},
+		"polysi":          {core.SI},
+		"elle":            {core.SER, core.SI},
+		"porcupine":       {core.SSER},
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registered %v, want %d checkers", names, len(want))
+	}
+	for name, lvls := range want {
+		c, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("checker %q reports name %q", name, c.Name())
+		}
+		got := c.Levels()
+		if len(got) != len(lvls) {
+			t.Fatalf("%s levels = %v, want %v", name, got, lvls)
+		}
+		for i := range lvls {
+			if got[i] != lvls[i] {
+				t.Fatalf("%s levels = %v, want %v", name, got, lvls)
+			}
+		}
+	}
+}
+
+// TestRegistryErrors covers lookup and dispatch error paths.
+func TestRegistryErrors(t *testing.T) {
+	h := history.SerialHistory(4, "x")
+	cases := []struct {
+		name    string
+		checker string
+		level   Level
+		errPart string
+	}{
+		{"unknown checker", "bogus", "", "unknown checker"},
+		{"cobra cannot SI", "cobra", core.SI, "does not support level"},
+		{"polysi cannot SER", "polysi", core.SER, "does not support level"},
+		{"porcupine cannot SER", "porcupine", core.SER, "does not support level"},
+		{"incremental cannot SSER", "mtc-incremental", core.SSER, "does not support level"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.checker, h, Options{Level: tc.level})
+			if err == nil || !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("want error containing %q, got %v", tc.errPart, err)
+			}
+		})
+	}
+}
+
+// TestDefaultLevels runs each checker with an empty level and checks the
+// applied default.
+func TestDefaultLevels(t *testing.T) {
+	h := history.SerialHistory(4, "x")
+	for name, def := range map[string]Level{
+		"mtc": core.SI, "mtc-incremental": core.SI,
+		"cobra": core.SER, "polysi": core.SI, "elle": core.SER,
+	} {
+		v, err := Run(name, h, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v.Level != def {
+			t.Fatalf("%s default level = %s, want %s", name, v.Level, def)
+		}
+		if !v.OK {
+			t.Fatalf("%s rejects a serial history: %+v", name, v)
+		}
+	}
+}
+
+// TestAllCheckersAgreeOnFixture runs every applicable checker on the
+// write-skew fixture: SER checkers must reject, SI checkers accept.
+func TestAllCheckersAgreeOnFixture(t *testing.T) {
+	f := history.FixtureByName("WriteSkew")
+	for _, name := range []string{"mtc", "mtc-incremental", "cobra", "elle"} {
+		v, err := Run(name, f.H, Options{Level: core.SER})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v.OK {
+			t.Fatalf("%s accepts write skew at SER", name)
+		}
+	}
+	for _, name := range []string{"mtc", "mtc-incremental", "polysi"} {
+		v, err := Run(name, f.H, Options{Level: core.SI})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !v.OK {
+			t.Fatalf("%s rejects write skew at SI: %+v", name, v)
+		}
+	}
+}
+
+// lwtHistory builds an LWT-shaped history: inserts head each key's write
+// chain, CAS transactions extend it.
+func lwtHistory() *history.History {
+	b := history.NewBuilder()
+	b.TimedTxn(0, 1, 2, history.W("x", 1))                    // insert
+	b.TimedTxn(0, 3, 4, history.R("x", 1), history.W("x", 2)) // CAS 1->2
+	b.TimedTxn(1, 5, 6, history.R("x", 2), history.W("x", 3)) // CAS 2->3
+	return b.Build()
+}
+
+// TestPorcupineAdapter covers the LWT conversion, both shapes.
+func TestPorcupineAdapter(t *testing.T) {
+	v, err := Run("porcupine", lwtHistory(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Err != "" || !v.OK {
+		t.Fatalf("linearizable LWT history rejected: %+v", v)
+	}
+
+	// A stale CAS: two successful CAS of the same expected value.
+	b := history.NewBuilder()
+	b.TimedTxn(0, 1, 2, history.W("x", 1))
+	b.TimedTxn(0, 3, 4, history.R("x", 1), history.W("x", 2))
+	b.TimedTxn(1, 5, 6, history.R("x", 1), history.W("x", 3))
+	v, err = Run("porcupine", b.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Err != "" || v.OK {
+		t.Fatalf("lost-update LWT history accepted: %+v", v)
+	}
+
+	// Not LWT-shaped: a two-key transaction.
+	b = history.NewBuilder("x", "y")
+	b.Txn(0, history.R("x", 0), history.W("x", 1), history.R("y", 0), history.W("y", 2))
+	v, err = Run("porcupine", b.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Err == "" || v.OK {
+		t.Fatalf("non-LWT history must return a shape error, got %+v", v)
+	}
+}
+
+// TestLWTFromHistoryInit converts ⊥T into per-key inserts.
+func TestLWTFromHistoryInit(t *testing.T) {
+	b := history.NewBuilder("x", "y")
+	b.TimedTxn(0, 1, 2, history.R("x", 0), history.W("x", 1))
+	ops, err := LWTFromHistory(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 { // 2 inserts from init + 1 CAS
+		t.Fatalf("ops = %v", ops)
+	}
+	if ops[0].Kind != core.LWTInsert || ops[2].Kind != core.LWTRW {
+		t.Fatalf("kinds wrong: %v", ops)
+	}
+}
+
+// TestRegistryIsolation confirms a private registry does not leak into
+// the default one.
+func TestRegistryIsolation(t *testing.T) {
+	var reg Registry
+	reg.Register(mtcChecker{})
+	if n := len(reg.Names()); n != 1 {
+		t.Fatalf("private registry has %d checkers", n)
+	}
+	if _, err := reg.Lookup("cobra"); err == nil {
+		t.Fatal("cobra must not be in the private registry")
+	}
+	if _, err := Lookup("cobra"); err != nil {
+		t.Fatalf("default registry lost cobra: %v", err)
+	}
+}

@@ -1,0 +1,478 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mtc/internal/graph"
+	"mtc/internal/history"
+)
+
+// Incremental verifies SER or SI online, transaction by transaction: it
+// maintains the MT dependency graph of Algorithm 1 under an online
+// topological order (graph.Online, Pearce–Kelly), so a violation is
+// detected at the first offending commit instead of after the run. The
+// nearly-unique-graph property of MT histories (Theorems 1 and 2) keeps
+// every per-commit update local: each committed transaction contributes
+// O(1) dependency edges, and edges that respect commit order never
+// disturb the maintained order, so the amortized cost per commit is
+// near-constant and the total matches the batch checker's O(n).
+//
+// Verdict parity with the batch checkers is exact: after every
+// transaction of a history has been fed (in session order within each
+// session), Finalize reports OK if and only if CheckSER / CheckSI does.
+// Reads whose writer has not yet been observed are parked and resolved
+// when the writer commits — or classified as AbortedRead / ThinAirRead at
+// Finalize, exactly as the batch pre-check would.
+//
+// An Incremental is not safe for concurrent use; callers serialise Add
+// (internal/runner.RunStream funnels session goroutines through a
+// channel).
+type Incremental struct {
+	lvl Level
+	vio *Result
+
+	n     int // transactions added, including aborted and init
+	edges int // dependency edges, mirroring the batch graph's NumEdges
+
+	topo *graph.Online
+
+	initID        int
+	lastInSession map[int]int
+
+	writers     map[history.Key]map[history.Value]int // committed writer index
+	abortedW    map[history.Key]map[history.Value]int
+	finalWrites map[int]map[history.Key]history.Value // committed txn -> final writes
+
+	pending     map[history.Op][]int // unresolved first external reads -> reader IDs
+	readers     map[incWK][]int      // (writer, key) -> readers of the writer's value
+	overwriters map[incWK][]int      // (writer, key) -> RMW overwriters of that value
+
+	// SI-only state: the online order tracks the composed graph
+	// (SO ∪ WR ∪ WW) ; RW?, so base and RW adjacency is kept separately
+	// and every composed edge remembers its constituents for reporting.
+	baseIn  map[int][]graph.Edge
+	rwOut   map[int][]graph.Edge
+	witness map[composedKey][]graph.Edge
+}
+
+// NewIncremental returns an online checker for lvl, which must be SER or
+// SI (SSER needs the real-time order, which is inherently a batch
+// construction; use CheckSSER).
+func NewIncremental(lvl Level) *Incremental {
+	switch lvl {
+	case SER, SI:
+	default:
+		panic(fmt.Sprintf("core: incremental checker supports SER and SI, not %q", lvl))
+	}
+	return &Incremental{
+		lvl:           lvl,
+		topo:          graph.NewOnline(),
+		initID:        -1,
+		lastInSession: make(map[int]int),
+		writers:       make(map[history.Key]map[history.Value]int),
+		abortedW:      make(map[history.Key]map[history.Value]int),
+		finalWrites:   make(map[int]map[history.Key]history.Value),
+		pending:       make(map[history.Op][]int),
+		readers:       make(map[incWK][]int),
+		overwriters:   make(map[incWK][]int),
+		baseIn:        make(map[int][]graph.Edge),
+		rwOut:         make(map[int][]graph.Edge),
+		witness:       make(map[composedKey][]graph.Edge),
+	}
+}
+
+// Level returns the level being checked.
+func (inc *Incremental) Level() Level { return inc.lvl }
+
+// NumTxns returns the number of transactions added so far.
+func (inc *Incremental) NumTxns() int { return inc.n }
+
+// NumEdges returns the number of dependency edges derived so far.
+func (inc *Incremental) NumEdges() int { return inc.edges }
+
+// Violation returns the verdict of the first detected violation, or nil
+// while the prefix fed so far is consistent.
+func (inc *Incremental) Violation() *Result { return inc.vio }
+
+// incWK indexes the reader/overwriter groups by (writer, key).
+type incWK struct {
+	w int
+	k history.Key
+}
+
+// InitTxn installs the initial transaction ⊥T writing value 0 to each
+// key, as transaction 0. It must be called before any Add.
+func (inc *Incremental) InitTxn(keys ...history.Key) *Result {
+	if inc.n != 0 {
+		panic("core: InitTxn after Add")
+	}
+	ops := make([]history.Op, len(keys))
+	for i, k := range keys {
+		ops[i] = history.Op{Kind: history.OpWrite, Key: k, Value: 0}
+	}
+	return inc.add(history.Txn{Ops: ops, Committed: true}, true)
+}
+
+// Add feeds the next transaction. Its ID is assigned as the number of
+// transactions fed before it (matching History.Txns indexing when the
+// same stream is also collected into a history); Session, Ops and
+// Committed are honoured, timestamps are ignored. Transactions of one
+// session must arrive in session order; sessions may interleave freely.
+// It returns the violation verdict as soon as one exists (every later
+// Add is then a no-op returning the same verdict), nil otherwise.
+func (inc *Incremental) Add(t history.Txn) *Result {
+	return inc.add(t, false)
+}
+
+func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
+	if inc.vio != nil {
+		return inc.vio
+	}
+	id := inc.topo.AddNode()
+	inc.n++
+	if !t.Committed {
+		for _, op := range t.Ops {
+			if op.Kind != history.OpWrite {
+				continue
+			}
+			m := inc.abortedW[op.Key]
+			if m == nil {
+				m = make(map[history.Value]int)
+				inc.abortedW[op.Key] = m
+			}
+			m[op.Value] = id
+		}
+		return nil
+	}
+	if isInit {
+		inc.initID = id
+	} else {
+		prev, ok := inc.lastInSession[t.Session]
+		if !ok {
+			prev = inc.initID
+		}
+		if prev >= 0 {
+			inc.addDepEdge(graph.Edge{From: prev, To: id, Kind: graph.SO})
+		}
+		inc.lastInSession[t.Session] = id
+	}
+
+	// Register this transaction's committed writes first: its own reads
+	// must resolve against them (and be skipped, as in the batch builder),
+	// and unique-value violations surface here.
+	finals := (&t).Writes()
+	inc.finalWrites[id] = finals
+	for _, op := range t.Ops {
+		if op.Kind != history.OpWrite {
+			continue
+		}
+		m := inc.writers[op.Key]
+		if m == nil {
+			m = make(map[history.Value]int)
+			inc.writers[op.Key] = m
+		}
+		if first, dup := m[op.Value]; dup {
+			return inc.fail(Result{Level: inc.lvl, Anomalies: []history.Anomaly{
+				{Kind: history.DuplicateWrite, Txn: first, Key: op.Key, Value: op.Value},
+			}})
+		}
+		m[op.Value] = id
+	}
+
+	// Writers that readers were parked on may just have arrived.
+	for _, op := range t.Ops {
+		if op.Kind != history.OpWrite {
+			continue
+		}
+		key := history.Op{Kind: history.OpRead, Key: op.Key, Value: op.Value}
+		waiters := inc.pending[key]
+		if len(waiters) == 0 {
+			continue
+		}
+		delete(inc.pending, key)
+		for _, r := range waiters {
+			if vio := inc.resolveRead(r, id, op.Key, op.Value); vio != nil {
+				return vio
+			}
+		}
+	}
+
+	if vio := inc.walkOps(id, t.Ops); vio != nil {
+		return vio
+	}
+	return nil
+}
+
+// walkOps classifies every operation of committed transaction id in
+// program order, replicating history.checkTxnInternal, and derives the
+// dependency edges of its first external reads.
+func (inc *Incremental) walkOps(id int, ops []history.Op) *Result {
+	anomaly := func(kind history.AnomalyKind, op history.Op) *Result {
+		return inc.fail(Result{Level: inc.lvl, Anomalies: []history.Anomaly{
+			{Kind: kind, Txn: id, Key: op.Key, Value: op.Value},
+		}})
+	}
+	lastWrite := map[history.Key]history.Value{}
+	wroteValues := map[history.Op]bool{}
+	futureWrites := map[history.Op]int{}
+	firstExtRead := map[history.Key]history.Value{}
+	for _, op := range ops {
+		if op.Kind == history.OpWrite {
+			futureWrites[history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}]++
+		}
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case history.OpWrite:
+			w := history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}
+			lastWrite[op.Key] = op.Value
+			wroteValues[w] = true
+			if futureWrites[w]--; futureWrites[w] == 0 {
+				delete(futureWrites, w)
+			}
+		case history.OpRead:
+			if v, wrote := lastWrite[op.Key]; wrote {
+				if op.Value == v {
+					continue
+				}
+				if wroteValues[history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}] {
+					return anomaly(history.NotMyLastWrite, op)
+				}
+				return anomaly(history.NotMyOwnWrite, op)
+			}
+			if prev, seen := firstExtRead[op.Key]; seen {
+				if prev != op.Value {
+					return anomaly(history.NonRepeatableReads, op)
+				}
+				continue
+			}
+			firstExtRead[op.Key] = op.Value
+			if futureWrites[history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}] > 0 {
+				return anomaly(history.FutureRead, op)
+			}
+			w := -1
+			if m, ok := inc.writers[op.Key]; ok {
+				if id2, ok := m[op.Value]; ok {
+					w = id2
+				}
+			}
+			if w == id {
+				continue // own write, already validated by the INT branches
+			}
+			if w >= 0 {
+				if vio := inc.resolveRead(id, w, op.Key, op.Value); vio != nil {
+					return vio
+				}
+				continue
+			}
+			// Writer unseen: park. AbortedRead / ThinAirRead can only be
+			// told apart once the stream ends (the writer may still
+			// commit), so classification waits for Finalize.
+			k := history.Op{Kind: history.OpRead, Key: op.Key, Value: op.Value}
+			inc.pending[k] = append(inc.pending[k], id)
+		}
+	}
+	return nil
+}
+
+// resolveRead connects committed reader r to the committed writer w of
+// (key, val): the G1b check, the WR edge, and — when the reader also
+// writes the key — the WW edge, the divergence check, and the RW
+// anti-dependencies against the other readers and overwriters of w's
+// value.
+func (inc *Incremental) resolveRead(r, w int, key history.Key, val history.Value) *Result {
+	if last, ok := inc.finalWrites[w][key]; ok && last != val {
+		return inc.fail(Result{Level: inc.lvl, Anomalies: []history.Anomaly{
+			{Kind: history.IntermediateRead, Txn: r, Key: key, Value: val},
+		}})
+	}
+	if vio := inc.addDepEdge(graph.Edge{From: w, To: r, Kind: graph.WR, Obj: string(key)}); vio != nil {
+		return vio
+	}
+	slot := incWK{w, key}
+	// As a reader, r anti-depends on every known overwriter of (w, key).
+	for _, o := range inc.overwriters[slot] {
+		if o == r {
+			continue
+		}
+		if vio := inc.addDepEdge(graph.Edge{From: r, To: o, Kind: graph.RW, Obj: string(key)}); vio != nil {
+			return vio
+		}
+	}
+	inc.readers[slot] = append(inc.readers[slot], r)
+	if _, writes := inc.finalWrites[r][key]; !writes {
+		return nil
+	}
+	// r is an RMW overwriter of (w, key).
+	if inc.lvl == SI && len(inc.overwriters[slot]) > 0 {
+		d := Divergence{Key: key, Writer: w, Reader1: inc.overwriters[slot][0], Reader2: r}
+		return inc.fail(Result{Level: inc.lvl, Divergence: &d})
+	}
+	if vio := inc.addDepEdge(graph.Edge{From: w, To: r, Kind: graph.WW, Obj: string(key)}); vio != nil {
+		return vio
+	}
+	for _, rd := range inc.readers[slot] {
+		if rd == r {
+			continue
+		}
+		if vio := inc.addDepEdge(graph.Edge{From: rd, To: r, Kind: graph.RW, Obj: string(key)}); vio != nil {
+			return vio
+		}
+	}
+	inc.overwriters[slot] = append(inc.overwriters[slot], r)
+	return nil
+}
+
+// addDepEdge inserts one dependency edge. Under SER the edge feeds the
+// online order directly; under SI base edges and RW edges feed the
+// composed graph as in induceSI, one composition step at a time.
+func (inc *Incremental) addDepEdge(e graph.Edge) *Result {
+	inc.edges++
+	if inc.lvl == SER {
+		return inc.cycle(inc.topo.AddEdge(e))
+	}
+	if e.Kind == graph.RW {
+		inc.rwOut[e.From] = append(inc.rwOut[e.From], e)
+		for _, b := range inc.baseIn[e.From] {
+			if vio := inc.addComposed(b, e); vio != nil {
+				return vio
+			}
+		}
+		return nil
+	}
+	inc.baseIn[e.To] = append(inc.baseIn[e.To], e)
+	if vio := inc.cycle(inc.topo.AddEdge(e)); vio != nil {
+		return vio
+	}
+	for _, rw := range inc.rwOut[e.To] {
+		if vio := inc.addComposed(e, rw); vio != nil {
+			return vio
+		}
+	}
+	return nil
+}
+
+// addComposed inserts the composed edge base ; rw into the online order.
+func (inc *Incremental) addComposed(base, rw graph.Edge) *Result {
+	ck := composedKey{from: base.From, to: rw.To}
+	if _, dup := inc.witness[ck]; !dup {
+		inc.witness[ck] = []graph.Edge{base, rw}
+	}
+	return inc.cycle(inc.topo.AddEdge(graph.Edge{From: base.From, To: rw.To, Kind: graph.AUX, Obj: "(;RW)"}))
+}
+
+// cycle converts a non-nil cycle from the online order into the terminal
+// verdict, expanding composed SI edges back into their constituents.
+func (inc *Incremental) cycle(cy []graph.Edge) *Result {
+	if cy == nil {
+		return nil
+	}
+	if inc.lvl == SI {
+		cy = expandComposed(cy, inc.witness)
+	}
+	return inc.fail(Result{Level: inc.lvl, Cycle: cy})
+}
+
+func (inc *Incremental) fail(r Result) *Result {
+	r.NumTxns = inc.n
+	r.NumEdges = inc.edges
+	inc.vio = &r
+	return inc.vio
+}
+
+// Finalize ends the stream: reads still parked are classified as
+// AbortedRead or ThinAirRead (their writer never committed), and the
+// overall verdict is returned. The verdict's OK equals what CheckSER /
+// CheckSI would report on the same transactions fed as one batch.
+func (inc *Incremental) Finalize() Result {
+	if inc.vio != nil {
+		return *inc.vio
+	}
+	// Deterministic pick across map iteration: the earliest parked
+	// reader, breaking ties by key then value, so identical streams
+	// report identical counterexamples.
+	best, bestReader := history.Op{}, -1
+	for key, waiters := range inc.pending {
+		r := waiters[0]
+		for _, w := range waiters {
+			if w < r {
+				r = w
+			}
+		}
+		if bestReader < 0 || r < bestReader ||
+			(r == bestReader && (key.Key < best.Key || key.Key == best.Key && key.Value < best.Value)) {
+			best, bestReader = key, r
+		}
+	}
+	if bestReader >= 0 {
+		kind := history.ThinAirRead
+		if m, ok := inc.abortedW[best.Key]; ok {
+			if _, ok := m[best.Value]; ok {
+				kind = history.AbortedRead
+			}
+		}
+		return *inc.fail(Result{Level: inc.lvl, Anomalies: []history.Anomaly{
+			{Kind: kind, Txn: bestReader, Key: best.Key, Value: best.Value},
+		}})
+	}
+	return Result{Level: inc.lvl, OK: true, NumTxns: inc.n, NumEdges: inc.edges}
+}
+
+// CheckIncremental replays a complete history through the online checker
+// and returns its verdict; it decides the same predicate as Check at
+// levels SER and SI, violating prefixes permitting early exit.
+//
+// Transactions are fed in commit (Finish timestamp) order — the order a
+// live stream would deliver them — rather than History.Txns order, which
+// interleaves sessions in per-session blocks and would force the online
+// order into its worst case. The sort is stable, so session order is
+// preserved (Finish is monotone within a session) and untimed histories
+// replay exactly in ID order. Counterexample transaction IDs are mapped
+// back to History.Txns indices before returning.
+func CheckIncremental(h *history.History, lvl Level) Result {
+	order := make([]int, len(h.Txns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return h.Txns[order[a]].Finish < h.Txns[order[b]].Finish
+	})
+	inc := NewIncremental(lvl)
+	perm := make([]int, 0, len(order)) // arrival position -> original ID
+	for _, id := range order {
+		perm = append(perm, id)
+		if vio := inc.add(h.Txns[id], h.HasInit && id == 0); vio != nil {
+			return remapResult(*vio, perm)
+		}
+	}
+	return remapResult(inc.Finalize(), perm)
+}
+
+// remapResult rewrites stream-position transaction IDs in a verdict back
+// to the original history IDs.
+func remapResult(r Result, perm []int) Result {
+	at := func(i int) int {
+		if i >= 0 && i < len(perm) {
+			return perm[i]
+		}
+		return i
+	}
+	for i := range r.Anomalies {
+		r.Anomalies[i].Txn = at(r.Anomalies[i].Txn)
+	}
+	if r.Divergence != nil {
+		d := *r.Divergence
+		d.Writer, d.Reader1, d.Reader2 = at(d.Writer), at(d.Reader1), at(d.Reader2)
+		r.Divergence = &d
+	}
+	if len(r.Cycle) > 0 {
+		cy := make([]graph.Edge, len(r.Cycle))
+		for i, e := range r.Cycle {
+			e.From, e.To = at(e.From), at(e.To)
+			cy[i] = e
+		}
+		r.Cycle = cy
+	}
+	return r
+}

@@ -137,9 +137,15 @@ type Store struct {
 	lcond *sync.Cond
 	locks map[history.Key]*lockState
 
-	fmu  sync.Mutex // guards frng
-	frng *rand.Rand
-	f    Faults
+	// Single-operation (LWT) fault draws share frng under fmu; the MVCC
+	// transaction path never touches it — each Tx derives its own PRNG
+	// from seed and its start timestamp (see Begin), so concurrent
+	// sessions draw fault decisions without any shared state.
+	fmu       sync.Mutex // guards frng
+	frng      *rand.Rand
+	seed      int64
+	f         Faults
+	txnFaults bool // any per-transaction fault probability is set
 
 	stats Stats
 }
@@ -156,11 +162,13 @@ func NewFaultyStore(mode Mode, f Faults) *Store {
 		seed = 1
 	}
 	s := &Store{
-		mode:  mode,
-		data:  make(map[history.Key][]version),
-		locks: make(map[history.Key]*lockState),
-		frng:  rand.New(rand.NewSource(seed)),
-		f:     f,
+		mode:      mode,
+		data:      make(map[history.Key][]version),
+		locks:     make(map[history.Key]*lockState),
+		frng:      rand.New(rand.NewSource(seed)),
+		seed:      seed,
+		f:         f,
+		txnFaults: f.LostUpdate > 0 || f.WriteSkew > 0 || f.StaleSnapshot > 0 || f.LongFork > 0 || f.DirtyAbort > 0,
 	}
 	s.lcond = sync.NewCond(&s.lmu)
 	return s
@@ -175,7 +183,8 @@ func (s *Store) Stats() *Stats { return &s.stats }
 // now advances and returns the logical clock.
 func (s *Store) now() int64 { return s.clock.Add(1) }
 
-// chance draws a fault decision.
+// chance draws a fault decision for single-operation (LWT) paths, which
+// have no per-transaction PRNG; the draw is serialised under fmu.
 func (s *Store) chance(p float64) bool {
 	if p <= 0 {
 		return false
@@ -186,15 +195,25 @@ func (s *Store) chance(p float64) bool {
 	return ok
 }
 
-// randBack draws a random lag in [1, max] for stale-snapshot faults.
-func (s *Store) randBack(max int64) int64 {
-	if max < 1 {
-		return 0
+// splitmix64 is the SplitMix64 finalizer, used to spread (seed, startTS)
+// into independent per-transaction PRNG seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// txnRand derives the fault PRNG of a transaction beginning at start: a
+// function of the store seed and the start timestamp only, so runs are
+// reproducible per (seed, schedule) without any cross-session locking.
+// It returns nil on fault-free stores, sparing the hot path the PRNG
+// allocation and seeding cost entirely.
+func (s *Store) txnRand(start int64) *rand.Rand {
+	if !s.txnFaults {
+		return nil
 	}
-	s.fmu.Lock()
-	d := 1 + s.frng.Int63n(max)
-	s.fmu.Unlock()
-	return d
+	return rand.New(rand.NewSource(int64(splitmix64(uint64(s.seed) ^ uint64(start)*0x9e3779b97f4a7c15))))
 }
 
 // Init installs value 0 for each key at timestamp 0, playing the role of

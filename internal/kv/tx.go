@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"math/rand"
 	"sort"
 
 	"mtc/internal/history"
@@ -10,6 +11,7 @@ import (
 // multiple goroutines; each client session drives its own transactions.
 type Tx struct {
 	s       *Store
+	rng     *rand.Rand // fault draws, derived from (store seed, startTS)
 	startTS int64
 	snapTS  int64 // may lag startTS under the StaleSnapshot fault
 	stale   bool  // true when the StaleSnapshot fault fired at Begin
@@ -29,25 +31,38 @@ type Tx struct {
 // timestamp doubles as its wait-die priority.
 func (s *Store) Begin() *Tx {
 	start := s.now()
-	snap := start
-	stale := false
-	if s.chance(s.f.StaleSnapshot) {
-		snap -= s.randBack(start / 2)
-		if snap < 0 {
-			snap = 0
-		}
-		stale = true
-	}
-	return &Tx{
+	t := &Tx{
 		s:        s,
+		rng:      s.txnRand(start),
 		startTS:  start,
-		snapTS:   snap,
-		stale:    stale,
+		snapTS:   start,
 		writeBuf: make(map[history.Key]history.Value),
 		appends:  make(map[history.Key][]history.Value),
 		readSeen: make(map[history.Key]int64),
 		readSnap: make(map[history.Key]int64),
 	}
+	if t.chance(s.f.StaleSnapshot) {
+		t.snapTS -= t.randBack(start / 2)
+		if t.snapTS < 0 {
+			t.snapTS = 0
+		}
+		t.stale = true
+	}
+	return t
+}
+
+// chance draws a fault decision from the transaction's own PRNG. On
+// fault-free stores rng is nil and p is always 0, so no draw happens.
+func (t *Tx) chance(p float64) bool {
+	return p > 0 && t.rng != nil && t.rng.Float64() < p
+}
+
+// randBack draws a random lag in [1, max] for stale-snapshot faults.
+func (t *Tx) randBack(max int64) int64 {
+	if max < 1 {
+		return 0
+	}
+	return 1 + t.rng.Int63n(max)
 }
 
 // StartTS returns the transaction's begin timestamp on the store's
@@ -72,8 +87,8 @@ func (t *Tx) snapFor(k history.Key) int64 {
 		return snap
 	}
 	snap := t.snapTS
-	if t.s.chance(t.s.f.LongFork) {
-		snap -= t.s.randBack(snap / 2)
+	if t.chance(t.s.f.LongFork) {
+		snap -= t.randBack(snap / 2)
 		if snap < 0 {
 			snap = 0
 		}
@@ -236,7 +251,7 @@ func (t *Tx) Commit() error {
 	// touched, so they are always valid).
 	conflict := false
 	if s.mode != Mode2PL {
-		if !s.chance(s.f.LostUpdate) {
+		if !t.chance(s.f.LostUpdate) {
 			for k := range t.writeBuf {
 				if ver, ok := s.latest(k); ok && ver.ts > t.snapTS {
 					conflict = true
@@ -256,7 +271,7 @@ func (t *Tx) Commit() error {
 		// A transaction started on an injected stale snapshot skips
 		// read-set validation: the buggy database believes its snapshot
 		// is current, which is exactly how the stale reads leak out.
-		if !conflict && s.mode == ModeSerializable && !t.stale && !s.chance(s.f.WriteSkew) {
+		if !conflict && s.mode == ModeSerializable && !t.stale && !t.chance(s.f.WriteSkew) {
 			for k, seen := range t.readSeen {
 				if ver, ok := s.latest(k); ok && ver.ts != seen {
 					conflict = true
@@ -268,7 +283,7 @@ func (t *Tx) Commit() error {
 	// The DirtyAbort fault installs the transaction's effects and then
 	// reports an abort — regardless of whether validation passed — so the
 	// injected bug manifests on conflict-free workloads too.
-	dirty := s.chance(s.f.DirtyAbort)
+	dirty := t.chance(s.f.DirtyAbort)
 	if conflict && !dirty {
 		s.mu.Unlock()
 		t.rollback()

@@ -1,23 +1,42 @@
 // Package mtcserve implements the checking-as-a-service HTTP API behind
 // cmd/mtc-serve: histories in, verdicts with counterexamples out. It is
 // the repository's take on the IsoVista integration the paper names as
-// future work.
+// future work. Engines are resolved through the checker registry
+// (internal/checker), so every registered checker — the batch MTC
+// algorithms, the online incremental engine, and the Cobra, PolySI, Elle
+// and Porcupine baselines — is reachable by name; and session-scoped
+// streaming endpoints feed transactions to core.Incremental as they
+// commit, so a deployment can verify continuously under live traffic
+// instead of shipping complete histories.
+//
+//	GET  /checkers                  registered checkers and their levels
+//	POST /check?checker=&level=     batch check a history JSON body
+//	GET  /fixtures                  the built-in anomaly fixtures
+//	GET  /fixtures/{name}?level=    verdict on a fixture
+//	POST /sessions                  open a streaming session {level, keys}
+//	POST /sessions/{id}/txns        feed one txn or an array of txns
+//	GET  /sessions/{id}/verdict     verdict so far (?final=1 closes)
+//	DELETE /sessions/{id}           discard a session
+//	GET  /healthz
 package mtcserve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 
-	"mtc/internal/cobra"
+	"mtc/internal/checker"
 	"mtc/internal/core"
 	"mtc/internal/graph"
 	"mtc/internal/history"
-	"mtc/internal/polysi"
 )
 
-// Verdict is the JSON response of /check.
+// Verdict is the JSON wire form of a checker verdict.
 type Verdict struct {
 	Level     string   `json:"level"`
 	Checker   string   `json:"checker"`
@@ -29,16 +48,74 @@ type Verdict struct {
 	Detail    string   `json:"detail,omitempty"`
 }
 
-// Handler returns the service's HTTP handler.
-func Handler() http.Handler {
+// apiError is the structured error body every failing endpoint returns.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// checkerInfo describes one registry entry in GET /checkers.
+type checkerInfo struct {
+	Name   string   `json:"name"`
+	Levels []string `json:"levels"`
+}
+
+// Server carries the registry and the live streaming sessions. Safe for
+// concurrent use.
+type Server struct {
+	reg *checker.Registry
+	// DefaultChecker is used by /check when no checker query parameter
+	// is given; empty means "mtc". Set before serving.
+	DefaultChecker string
+	// MaxSessions bounds concurrently live streaming sessions; a session
+	// holds checker state proportional to the transactions fed, so
+	// abandoned sessions must not accumulate without limit. 0 uses
+	// DefaultMaxSessions. Clients free slots with DELETE /sessions/{id}.
+	MaxSessions int
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+}
+
+// DefaultMaxSessions is the default cap on live streaming sessions.
+const DefaultMaxSessions = 1024
+
+// session is one streaming verification session.
+type session struct {
+	mu      sync.Mutex
+	lvl     core.Level
+	inc     *core.Incremental
+	final   *core.Result
+	stopped bool
+}
+
+// NewServer returns a server dispatching on the given registry; nil
+// selects the default registry with every engine registered.
+func NewServer(reg *checker.Registry) *Server {
+	if reg == nil {
+		reg = checker.Default
+	}
+	return &Server{reg: reg, sessions: make(map[string]*session)}
+}
+
+// Handler returns the service's HTTP handler over the default registry.
+func Handler() http.Handler { return NewServer(nil).Handler() }
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("POST /check", handleCheck)
-	mux.HandleFunc("GET /fixtures", handleFixtures)
-	mux.HandleFunc("GET /fixtures/{name}", handleFixture)
+	mux.HandleFunc("GET /checkers", s.handleCheckers)
+	mux.HandleFunc("POST /check", s.handleCheck)
+	mux.HandleFunc("GET /fixtures", s.handleFixtures)
+	mux.HandleFunc("GET /fixtures/{name}", s.handleFixture)
+	mux.HandleFunc("POST /sessions", s.handleSessionOpen)
+	mux.HandleFunc("POST /sessions/{id}/txns", s.handleSessionTxns)
+	mux.HandleFunc("GET /sessions/{id}/verdict", s.handleSessionVerdict)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
 	return mux
 }
 
@@ -51,25 +128,48 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// parseLevel validates the level query parameter against the known level
+// names; empty means "checker default".
 func parseLevel(r *http.Request) (core.Level, bool) {
 	lvl := core.Level(strings.ToUpper(r.URL.Query().Get("level")))
 	switch lvl {
-	case "":
-		return core.SI, true
-	case core.SSER, core.SER, core.SI:
+	case "", core.SSER, core.SER, core.SI:
 		return lvl, true
 	default:
 		return "", false
 	}
 }
 
-func handleCheck(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCheckers(w http.ResponseWriter, r *http.Request) {
+	var out []checkerInfo
+	for _, c := range s.reg.All() {
+		info := checkerInfo{Name: c.Name()}
+		for _, l := range c.Levels() {
+			info.Levels = append(info.Levels, string(l))
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	lvl, ok := parseLevel(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown level %q", r.URL.Query().Get("level"))
+		httpError(w, http.StatusBadRequest, "unknown level %q (want SSER, SER or SI)", r.URL.Query().Get("level"))
+		return
+	}
+	name := r.URL.Query().Get("checker")
+	if name == "" {
+		name = s.DefaultChecker
+	}
+	if name == "" {
+		name = "mtc"
+	}
+	if _, err := s.reg.Lookup(name); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	h, err := history.ReadJSON(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -77,53 +177,40 @@ func handleCheck(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad history: %v", err)
 		return
 	}
-	checker := r.URL.Query().Get("checker")
-	if checker == "" {
-		checker = "mtc"
-	}
-	v, err := check(h, lvl, checker)
+	v, err := s.reg.Run(name, h, checker.Options{Level: lvl})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
-}
-
-// check runs the requested checker and converts its result.
-func check(h *history.History, lvl core.Level, checker string) (Verdict, error) {
-	switch checker {
-	case "mtc":
-		return fromResult(core.Check(h, lvl), "mtc"), nil
-	case "cobra":
-		if lvl != core.SER {
-			return Verdict{}, fmt.Errorf("checker cobra supports level SER only")
-		}
-		rep := cobra.CheckSER(h)
-		v := Verdict{Level: string(lvl), Checker: "cobra", OK: rep.OK, Txns: len(h.Txns)}
-		for _, a := range rep.Anomalies {
-			v.Anomalies = append(v.Anomalies, a.String())
-		}
-		v.Detail = fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual)
-		return v, nil
-	case "polysi":
-		if lvl != core.SI {
-			return Verdict{}, fmt.Errorf("checker polysi supports level SI only")
-		}
-		rep := polysi.CheckSI(h)
-		v := Verdict{Level: string(lvl), Checker: "polysi", OK: rep.OK, Txns: len(h.Txns)}
-		for _, a := range rep.Anomalies {
-			v.Anomalies = append(v.Anomalies, a.String())
-		}
-		v.Detail = fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual)
-		return v, nil
-	default:
-		return Verdict{}, fmt.Errorf("unknown checker %q", checker)
+	if v.Err != "" {
+		// The engine could not process this history (e.g. Porcupine on a
+		// history that is not LWT-shaped): the request was well-formed
+		// but unprocessable by the selected checker.
+		httpError(w, http.StatusUnprocessableEntity, "%s: %s", name, v.Err)
+		return
 	}
+	writeJSON(w, http.StatusOK, fromVerdict(v))
 }
 
-func fromResult(r core.Result, checker string) Verdict {
+// fromVerdict converts a checker verdict to the wire form.
+func fromVerdict(v checker.Verdict) Verdict {
+	out := Verdict{
+		Level: string(v.Level), Checker: v.Checker, OK: v.OK,
+		Txns: v.Txns, Edges: v.Edges, Detail: v.Detail,
+	}
+	for _, a := range v.Anomalies {
+		out.Anomalies = append(out.Anomalies, a.String())
+	}
+	for _, e := range v.Cycle {
+		out.Cycle = append(out.Cycle, e.String())
+	}
+	return out
+}
+
+// fromResult converts a core.Result to the wire form.
+func fromResult(r core.Result, checkerName string) Verdict {
 	v := Verdict{
-		Level: string(r.Level), Checker: checker, OK: r.OK,
+		Level: string(r.Level), Checker: checkerName, OK: r.OK,
 		Txns: r.NumTxns, Edges: r.NumEdges,
 	}
 	for _, a := range r.Anomalies {
@@ -141,7 +228,7 @@ func fromResult(r core.Result, checker string) Verdict {
 	return v
 }
 
-func handleFixtures(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFixtures(w http.ResponseWriter, r *http.Request) {
 	var names []string
 	for _, f := range history.Fixtures() {
 		names = append(names, f.Name)
@@ -149,7 +236,7 @@ func handleFixtures(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, names)
 }
 
-func handleFixture(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFixture(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	f := history.FixtureByName(name)
 	if f == nil {
@@ -158,8 +245,187 @@ func handleFixture(w http.ResponseWriter, r *http.Request) {
 	}
 	lvl, ok := parseLevel(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown level %q", r.URL.Query().Get("level"))
+		httpError(w, http.StatusBadRequest, "unknown level %q (want SSER, SER or SI)", r.URL.Query().Get("level"))
 		return
 	}
+	if lvl == "" {
+		lvl = core.SI
+	}
 	writeJSON(w, http.StatusOK, fromResult(core.Check(f.H, lvl), "mtc"))
+}
+
+// sessionRequest is the body of POST /sessions.
+type sessionRequest struct {
+	Level string        `json:"level"`
+	Keys  []history.Key `json:"keys"`
+}
+
+// txnPayload is the wire form of one streamed transaction; committed is
+// a pointer so that omitting it is detectable rather than silently
+// meaning aborted.
+type txnPayload struct {
+	Sess      int          `json:"sess"`
+	Ops       []history.Op `json:"ops"`
+	Committed *bool        `json:"committed"`
+	Start     int64        `json:"start"`
+	Finish    int64        `json:"finish"`
+}
+
+// sessionStatus is the response of the session endpoints.
+type sessionStatus struct {
+	ID      string   `json:"id"`
+	Level   string   `json:"level"`
+	Txns    int      `json:"txns"`
+	Edges   int      `json:"edges"`
+	OK      bool     `json:"ok"`
+	Final   bool     `json:"final"`
+	Verdict *Verdict `json:"verdict,omitempty"`
+}
+
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad session request: %v", err)
+		return
+	}
+	lvl := core.Level(strings.ToUpper(req.Level))
+	if lvl == "" {
+		lvl = core.SI
+	}
+	switch lvl {
+	case core.SER, core.SI:
+	default:
+		httpError(w, http.StatusBadRequest, "streaming checker supports levels SER and SI, not %q", req.Level)
+		return
+	}
+	sess := &session{lvl: lvl, inc: core.NewIncremental(lvl)}
+	if len(req.Keys) > 0 {
+		sess.inc.InitTxn(req.Keys...)
+	}
+	max := s.MaxSessions
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= max {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "session limit reached (%d live); DELETE finished sessions to free slots", max)
+		return
+	}
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.status(id, sess))
+}
+
+func (s *Server) lookupSession(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// status snapshots a session. Caller must NOT hold sess.mu.
+func (s *Server) status(id string, sess *session) sessionStatus {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st := sessionStatus{
+		ID: id, Level: string(sess.lvl),
+		Txns: sess.inc.NumTxns(), Edges: sess.inc.NumEdges(),
+		OK: true, Final: sess.stopped,
+	}
+	if sess.final != nil {
+		st.OK = sess.final.OK
+		v := fromResult(*sess.final, "mtc-incremental")
+		st.Verdict = &v
+	} else if vio := sess.inc.Violation(); vio != nil {
+		st.OK = false
+		v := fromResult(*vio, "mtc-incremental")
+		st.Verdict = &v
+	}
+	return st
+}
+
+func (s *Server) handleSessionTxns(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.lookupSession(id)
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad txns payload: %v", err)
+		return
+	}
+	// Accept a single txn object or an array of txns.
+	var payloads []txnPayload
+	if t := bytes.TrimLeft(raw, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		err = json.Unmarshal(raw, &payloads)
+	} else {
+		var one txnPayload
+		err = json.Unmarshal(raw, &one)
+		payloads = []txnPayload{one}
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad txns payload: %v", err)
+		return
+	}
+	txns := make([]history.Txn, len(payloads))
+	for i, p := range payloads {
+		// A missing committed field must not silently demote the txn to
+		// aborted — the checker would ignore its reads and could
+		// finalize a violating stream as clean.
+		if p.Committed == nil {
+			httpError(w, http.StatusBadRequest, "txn %d: missing required field \"committed\"", i)
+			return
+		}
+		txns[i] = history.Txn{
+			Session: p.Sess, Ops: p.Ops, Committed: *p.Committed,
+			Start: p.Start, Finish: p.Finish,
+		}
+	}
+	sess.mu.Lock()
+	if sess.stopped {
+		sess.mu.Unlock()
+		httpError(w, http.StatusConflict, "session %q is finalized", id)
+		return
+	}
+	for i := range txns {
+		sess.inc.Add(txns[i])
+	}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.status(id, sess))
+}
+
+func (s *Server) handleSessionVerdict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.lookupSession(id)
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	if final := r.URL.Query().Get("final"); final == "1" || strings.EqualFold(final, "true") {
+		sess.mu.Lock()
+		if !sess.stopped {
+			res := sess.inc.Finalize()
+			sess.final = &res
+			sess.stopped = true
+		}
+		sess.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, s.status(id, sess))
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }

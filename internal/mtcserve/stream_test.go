@@ -1,0 +1,299 @@
+package mtcserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mtc/internal/history"
+)
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if s, ok := body.(string); ok {
+		buf.WriteString(s)
+	} else if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	_, _ = out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func TestCheckersEndpoint(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	resp, body := doJSON(t, "GET", ts.URL+"/checkers", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/checkers: %d", resp.StatusCode)
+	}
+	var infos []checkerInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, ci := range infos {
+		got[ci.Name] = len(ci.Levels) > 0
+	}
+	for _, name := range []string{"mtc", "mtc-incremental", "cobra", "polysi", "elle", "porcupine"} {
+		if !got[name] {
+			t.Fatalf("/checkers missing %q (got %v)", name, got)
+		}
+	}
+}
+
+func TestCheckRegistryCheckers(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	h := history.SerialHistory(10, "x")
+	resp, v := post(t, ts, "/check?level=SER&checker=mtc-incremental", h)
+	if resp.StatusCode != http.StatusOK || !v.OK || v.Checker != "mtc-incremental" {
+		t.Fatalf("incremental verdict: %d %+v", resp.StatusCode, v)
+	}
+	resp, v = post(t, ts, "/check?level=SER&checker=elle", h)
+	if resp.StatusCode != http.StatusOK || !v.OK || v.Checker != "elle" {
+		t.Fatalf("elle verdict: %d %+v", resp.StatusCode, v)
+	}
+	// Porcupine on a non-LWT-shaped history is unprocessable.
+	b := history.NewBuilder("x", "y")
+	b.Txn(0, history.R("x", 0), history.W("x", 1), history.R("y", 0), history.W("y", 2))
+	resp, _ = post(t, ts, "/check?level=SSER&checker=porcupine", b.Build())
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("porcupine shape error must 422, got %d", resp.StatusCode)
+	}
+}
+
+// TestCheckErrorBodiesAreStructured ensures every error path returns an
+// {error} JSON object with the right status.
+func TestCheckErrorBodiesAreStructured(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"bad level", "/check?level=NOPE", history.SerialHistory(2), http.StatusBadRequest},
+		{"unknown checker", "/check?checker=bogus", history.SerialHistory(2), http.StatusBadRequest},
+		{"mismatched level", "/check?checker=cobra&level=SI", history.SerialHistory(2), http.StatusBadRequest},
+		{"malformed history", "/check?level=SI", "{bogus", http.StatusBadRequest},
+		{"empty body", "/check?level=SI", "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body any = tc.body
+			if h, ok := tc.body.(*history.History); ok {
+				var buf bytes.Buffer
+				if err := history.WriteJSON(&buf, h); err != nil {
+					t.Fatal(err)
+				}
+				body = buf.String()
+			}
+			resp, raw := doJSON(t, "POST", ts.URL+tc.path, body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.status, raw)
+			}
+			var e apiError
+			if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not structured: %q (%v)", raw, err)
+			}
+		})
+	}
+}
+
+// TestStreamingSessionLifecycle drives a full session: open with keys,
+// feed clean transactions, read the verdict, finalize, and delete.
+func TestStreamingSessionLifecycle(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	resp, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SER", Keys: []history.Key{"x", "y"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open: %d %s", resp.StatusCode, body)
+	}
+	var st sessionStatus
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
+		t.Fatalf("open body: %s (%v)", body, err)
+	}
+	if st.Txns != 1 { // ⊥T
+		t.Fatalf("want init txn counted, got %+v", st)
+	}
+
+	txns := []history.Txn{
+		{Session: 0, Committed: true, Ops: []history.Op{history.R("x", 0), history.W("x", 1)}},
+		{Session: 1, Committed: true, Ops: []history.Op{history.R("x", 1), history.W("x", 2)}},
+	}
+	resp, body = doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns", txns)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feed: %d %s", resp.StatusCode, body)
+	}
+	_ = json.Unmarshal(body, &st)
+	if !st.OK || st.Txns != 3 {
+		t.Fatalf("after feed: %+v", st)
+	}
+
+	// Single-object payloads are accepted too.
+	one := history.Txn{Session: 0, Committed: true, Ops: []history.Op{history.R("y", 0), history.W("y", 7)}}
+	resp, body = doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns", one)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feed one: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = doJSON(t, "GET", ts.URL+"/sessions/"+st.ID+"/verdict?final=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verdict: %d", resp.StatusCode)
+	}
+	_ = json.Unmarshal(body, &st)
+	if !st.Final || !st.OK || st.Verdict == nil || !st.Verdict.OK {
+		t.Fatalf("final verdict: %s", body)
+	}
+
+	// Feeding a finalized session conflicts.
+	resp, _ = doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns", one)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("feed after final must 409, got %d", resp.StatusCode)
+	}
+
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/sessions/"+st.ID, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "GET", ts.URL+"/sessions/"+st.ID+"/verdict", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted session must 404, got %d", resp.StatusCode)
+	}
+}
+
+// TestStreamingSessionCatchesViolation feeds a lost update and expects
+// the verdict to flip mid-stream, before finalize.
+func TestStreamingSessionCatchesViolation(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	_, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SI", Keys: []history.Key{"x"}})
+	var st sessionStatus
+	_ = json.Unmarshal(body, &st)
+
+	txns := []history.Txn{
+		{Session: 0, Committed: true, Ops: []history.Op{history.R("x", 0), history.W("x", 1)}},
+		{Session: 1, Committed: true, Ops: []history.Op{history.R("x", 0), history.W("x", 2)}}, // lost update
+	}
+	resp, body := doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns", txns)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feed: %d", resp.StatusCode)
+	}
+	_ = json.Unmarshal(body, &st)
+	if st.OK || st.Verdict == nil || st.Verdict.OK {
+		t.Fatalf("lost update not caught: %s", body)
+	}
+	if !strings.Contains(st.Verdict.Detail, "DIVERGENCE") {
+		t.Fatalf("want divergence witness, got %s", body)
+	}
+}
+
+// TestStreamingSessionErrors covers the session error paths.
+func TestStreamingSessionErrors(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	resp, raw := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SSER"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("SSER session must 400, got %d", resp.StatusCode)
+	}
+	var e apiError
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body not structured: %q", raw)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/sessions", "{bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad session body must 400, got %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/sessions/nope/txns", []history.Txn{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session must 404, got %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "DELETE", ts.URL+"/sessions/nope", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session delete must 404, got %d", resp.StatusCode)
+	}
+
+	_, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "si"})
+	var st sessionStatus
+	_ = json.Unmarshal(body, &st)
+	resp, _ = doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns", "{bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad txns payload must 400, got %d", resp.StatusCode)
+	}
+}
+
+// TestDefaultCheckerFlagged exercises Server.DefaultChecker.
+func TestDefaultCheckerFlagged(t *testing.T) {
+	srv := NewServer(nil)
+	srv.DefaultChecker = "cobra"
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, v := post(t, ts, "/check", history.SerialHistory(3, "x"))
+	if v.Checker != "cobra" || v.Level != "SER" {
+		t.Fatalf("default checker not applied: %+v", v)
+	}
+}
+
+// TestSessionLimit bounds concurrently live sessions.
+func TestSessionLimit(t *testing.T) {
+	srv := NewServer(nil)
+	srv.MaxSessions = 2
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	open := func() (*http.Response, sessionStatus) {
+		resp, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SI"})
+		var st sessionStatus
+		_ = json.Unmarshal(body, &st)
+		return resp, st
+	}
+	_, st1 := open()
+	open()
+	resp, _ := open()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third session must 503, got %d", resp.StatusCode)
+	}
+	// Deleting a session frees a slot.
+	doJSON(t, "DELETE", ts.URL+"/sessions/"+st1.ID, nil)
+	if resp, _ := open(); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("slot not freed: %d", resp.StatusCode)
+	}
+}
+
+// TestSessionTxnRequiresCommitted rejects txns omitting the committed
+// field instead of silently treating them as aborted.
+func TestSessionTxnRequiresCommitted(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	_, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SI", Keys: []history.Key{"x"}})
+	var st sessionStatus
+	_ = json.Unmarshal(body, &st)
+	resp, raw := doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns",
+		`[{"sess":0,"ops":[{"k":0,"key":"x","v":0},{"k":1,"key":"x","v":1}]}]`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing committed must 400, got %d (%s)", resp.StatusCode, raw)
+	}
+	var e apiError
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body not structured: %q", raw)
+	}
+}

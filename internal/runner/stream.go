@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/workload"
+)
+
+// StreamResult is the outcome of a streaming run: the usual execution
+// stats plus the online verdict.
+type StreamResult struct {
+	Result
+	// Verdict is the incremental checker's verdict over everything the
+	// run committed (identical to batch-checking H).
+	Verdict core.Result
+	// ViolationAt is the number of transactions (including ⊥T) the
+	// checker had ingested when the violation surfaced mid-stream. It is
+	// 0 when the run verified clean AND when the violation only became
+	// decidable at Finalize (an unresolved aborted/thin-air read has no
+	// single offending commit).
+	ViolationAt int
+	// EarlyAborted reports that the violation stopped the sessions
+	// before the workload plan was exhausted.
+	EarlyAborted bool
+}
+
+// streamMsg carries one executed transaction attempt from a session
+// goroutine to the verifier.
+type streamMsg struct {
+	si  int
+	rec record
+}
+
+// RunStream executes the workload with verification pipelined into the
+// run: session goroutines publish every finished transaction attempt
+// over a channel, and a verifier goroutine feeds them to the online
+// incremental checker (core.Incremental) while also assembling the
+// history. The verdict is therefore available the moment the offending
+// transaction commits — Cobra-style continuous verification — and, when
+// a violation is found, the sessions are signalled to stop, so a buggy
+// store is caught without paying for the rest of the run. lvl must be
+// SER or SI (the online checker's levels).
+func RunStream(s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level) *StreamResult {
+	s.Init(w.Keys)
+	ch := make(chan streamMsg, 256)
+	var stop atomic.Bool
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for si := range w.Sessions {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			<-start
+			values := 0
+			for _, spec := range w.Sessions[si] {
+				if stop.Load() {
+					return
+				}
+				for attempt := 0; ; attempt++ {
+					rec, ok := runTxn(s, si, spec, &values, cfg.OpDelay)
+					ch <- streamMsg{si: si, rec: rec}
+					if ok || attempt >= cfg.Retries || stop.Load() {
+						break
+					}
+				}
+			}
+		}(si)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	res := &StreamResult{}
+	inc := core.NewIncremental(lvl)
+	inc.InitTxn(w.Keys...)
+	b := history.NewBuilder(w.Keys...)
+	planned := 0
+	for _, specs := range w.Sessions {
+		planned += len(specs)
+	}
+	close(start)
+	for msg := range ch {
+		r := msg.rec
+		res.Attempts++
+		if r.committed {
+			res.Committed++
+		} else {
+			res.Aborted++
+			if cfg.DropAborted {
+				continue
+			}
+		}
+		if r.committed {
+			b.TimedTxn(msg.si, r.start, r.finish, r.ops...)
+		} else {
+			b.TimedAbortedTxn(msg.si, r.start, r.finish, r.ops...)
+		}
+		vio := inc.Add(history.Txn{Session: msg.si, Ops: r.ops, Committed: r.committed})
+		if vio != nil && !stop.Swap(true) {
+			res.ViolationAt = inc.NumTxns()
+		}
+	}
+	res.H = b.Build()
+	res.Verdict = inc.Finalize()
+	res.EarlyAborted = !res.Verdict.OK && res.Committed < planned
+	return res
+}
