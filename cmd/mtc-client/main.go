@@ -1,0 +1,137 @@
+// Command mtc-client submits a history to a running mtc-serve instance
+// through the pkg/client SDK and prints the verdict — the reference
+// consumer of the v1 async job API.
+//
+// Examples:
+//
+//	mtc-client -server http://localhost:8080 -checkers
+//	mtc-client -history h.json -level SER
+//	mtc-client -history h.json -checker cobra -level SER -timeout 30s
+//	mtc-client -history h.json -level SI -events     # follow the NDJSON stream
+//
+// The history file uses the standard JSON encoding (as written by
+// `mtc -out h.json` or mtc.WriteHistory). "-" reads from stdin. Exit
+// status: 0 verdict OK, 1 violation, 2 usage or transport error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtc/pkg/client"
+	"mtc/pkg/mtc"
+)
+
+func main() {
+	var (
+		server       = flag.String("server", "http://localhost:8080", "base URL of the mtc-serve instance")
+		historyPath  = flag.String("history", "", "history JSON file to verify (\"-\" for stdin)")
+		checkerName  = flag.String("checker", "", "verification engine (empty = server default)")
+		level        = flag.String("level", "", "isolation level: SSER, SER or SI (empty = checker default)")
+		timeout      = flag.Duration("timeout", 0, "per-job execution timeout sent to the server (0 = server default)")
+		wait         = flag.Duration("wait", 2*time.Minute, "how long to wait for the verdict")
+		events       = flag.Bool("events", false, "follow the job's NDJSON event stream instead of polling")
+		listCheckers = flag.Bool("checkers", false, "list the server's registered checkers and exit")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *wait)
+	defer cancel()
+	c := client.New(*server)
+
+	if *listCheckers {
+		infos, err := c.Checkers(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, ci := range infos {
+			fmt.Printf("%-16s levels: %v\n", ci.Name, ci.Levels)
+		}
+		return
+	}
+
+	if *historyPath == "" {
+		fatalf("missing -history (use -checkers to list engines)")
+	}
+	h, err := loadHistory(*historyPath)
+	if err != nil {
+		fatalf("read history: %v", err)
+	}
+	if *level != "" {
+		if _, err := mtc.ParseLevel(*level); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	req := client.JobRequest{
+		Checker: *checkerName, Level: *level,
+		TimeoutMillis: timeout.Milliseconds(), History: h,
+	}
+
+	job, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		fatalf("submit: %v", err)
+	}
+	fmt.Printf("job %s submitted (checker %s, level %s, %d txns)\n", job.ID, job.Checker, job.Level, job.Txns)
+
+	var report *mtc.Report
+	if *events {
+		err = c.StreamEvents(ctx, job.ID, func(ev client.JobEvent) error {
+			fmt.Printf("event %d: %s\n", ev.Seq, ev.State)
+			if ev.State == client.JobDone {
+				report = ev.Report
+			} else if ev.State == client.JobFailed {
+				return fmt.Errorf("job failed: %s", ev.Error)
+			} else if ev.State == client.JobCanceled {
+				return fmt.Errorf("job canceled")
+			}
+			return nil
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		job, err = c.WaitJob(ctx, job.ID)
+		if err != nil {
+			fatalf("wait: %v", err)
+		}
+		if job.State != client.JobDone {
+			fatalf("job %s %s: %s", job.ID, job.State, job.Error)
+		}
+		report = job.Report
+	}
+	if report == nil {
+		fatalf("job finished without a report")
+	}
+
+	if report.OK {
+		fmt.Printf("[%s] history satisfies %s (%d txns", report.Checker, report.Level, report.Txns)
+		if report.Edges > 0 {
+			fmt.Printf(", %d dependency edges", report.Edges)
+		}
+		fmt.Println(")")
+		return
+	}
+	fmt.Printf("[%s] history VIOLATES %s:\n", report.Checker, report.Level)
+	for _, a := range report.Anomalies {
+		fmt.Printf("  %s\n", a)
+	}
+	if report.Detail != "" {
+		fmt.Printf("  %s\n", report.Detail)
+	}
+	os.Exit(1)
+}
+
+func loadHistory(path string) (*mtc.History, error) {
+	if path == "-" {
+		return mtc.ReadHistory(os.Stdin)
+	}
+	return mtc.LoadHistory(path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mtc-client: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,40 +1,84 @@
 // Command mtc-serve exposes MTC as checking-as-a-service over HTTP — the
-// IsoVista integration the paper lists as future work (Section VII). It
-// accepts histories as JSON and returns verdicts with counterexamples;
-// engines resolve through the checker registry, and streaming sessions
-// verify transactions as they commit.
+// IsoVista integration the paper lists as future work (Section VII). The
+// v1 API is asynchronous: whole-history checks run as jobs on a bounded
+// worker pool under per-job timeouts, polled or streamed by id; live
+// streaming sessions verify transactions as they commit. Engines resolve
+// through the checker registry. See docs/api.md for the full endpoint
+// reference; pkg/client is the matching Go SDK.
 //
-//	mtc-serve -addr :8080 [-checker mtc]
+//	mtc-serve -addr :8080 [-checker mtc] [-workers 8] [-queue 256] \
+//	          [-job-timeout 60s] [-max-sessions 1024] [-max-body 67108864]
 //
-//	GET  /checkers                                    -> registered engines
-//	POST /check?level=SI        body: history JSON    -> verdict JSON
-//	POST /check?level=SER&checker=cobra               -> verdict JSON
-//	GET  /fixtures                                    -> the anomaly fixture names
-//	GET  /fixtures/{name}?level=SER                   -> verdict on a fixture
-//	POST /sessions              {"level":"SI","keys":["x"]}
-//	POST /sessions/{id}/txns    body: txn or [txn...] -> verdict so far
-//	GET  /sessions/{id}/verdict?final=1               -> final verdict
-//	GET  /healthz
+//	POST   /v1/jobs                  submit a check -> 202 + job id
+//	GET    /v1/jobs/{id}             poll status / report
+//	GET    /v1/jobs/{id}/events      NDJSON progress stream
+//	DELETE /v1/jobs/{id}             cancel (stops the worker)
+//	POST   /v1/sessions              open a streaming session
+//	GET    /v1/checkers              registered engines
+//	GET    /healthz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"mtc/internal/checker"
 	"mtc/internal/mtcserve"
+	"mtc/pkg/mtc"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	def := flag.String("checker", "mtc", "default checker for /check (resolved via the registry)")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		def         = flag.String("checker", "mtc", "default checker (resolved via the registry)")
+		workers     = flag.Int("workers", mtcserve.DefaultWorkers, "job worker pool size")
+		queue       = flag.Int("queue", mtcserve.DefaultQueueDepth, "job queue depth (full queue answers 429)")
+		jobTimeout  = flag.Duration("job-timeout", mtcserve.DefaultJobTimeout, "default per-job execution timeout")
+		maxJobs     = flag.Int("max-jobs", mtcserve.DefaultMaxJobs, "retained job cap (oldest finished jobs are forgotten)")
+		maxSessions = flag.Int("max-sessions", mtcserve.DefaultMaxSessions, "cap on live streaming sessions")
+		maxBody     = flag.Int64("max-body", mtcserve.DefaultMaxBodyBytes, "request body size limit in bytes")
+	)
 	flag.Parse()
-	if _, err := checker.Lookup(*def); err != nil {
-		log.Fatalf("mtc-serve: %v", err)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if _, err := mtc.LookupChecker(*def); err != nil {
+		logger.Error("mtc-serve: bad -checker", "err", err)
+		os.Exit(2)
 	}
+
 	srv := mtcserve.NewServer(nil)
 	srv.DefaultChecker = *def
-	log.Printf("mtc-serve listening on %s (default checker %s, registered: %v)", *addr, *def, checker.Names())
-	log.Fatal((&http.Server{Addr: *addr, Handler: srv.Handler()}).ListenAndServe())
+	srv.Workers = *workers
+	srv.QueueDepth = *queue
+	srv.JobTimeout = *jobTimeout
+	srv.MaxJobs = *maxJobs
+	srv.MaxSessions = *maxSessions
+	srv.MaxBodyBytes = *maxBody
+	srv.Logger = logger
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Info("mtc-serve: shutting down")
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	logger.Info("mtc-serve listening",
+		"addr", *addr, "default_checker", *def,
+		"workers", *workers, "queue", *queue, "job_timeout", jobTimeout.String(),
+		"registered", mtc.Checkers())
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("mtc-serve", "err", err)
+		os.Exit(1)
+	}
 }

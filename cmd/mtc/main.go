@@ -16,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mtc/internal/checker"
 	"mtc/internal/core"
@@ -46,6 +48,7 @@ func main() {
 		listBugs     = flag.Bool("bugs", false, "list injectable bugs and exit")
 		lwt          = flag.Bool("lwt", false, "use lightweight transactions (CAS) and the linear-time SSER checker")
 		out          = flag.String("out", "", "save the generated history to this JSON file")
+		timeout      = flag.Duration("timeout", 0, "abort verification after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -66,11 +69,9 @@ func main() {
 		return
 	}
 
-	lvl := core.Level(*level)
-	switch lvl {
-	case core.SSER, core.SER, core.SI:
-	default:
-		fatalf("unknown level %q (want SSER, SER or SI)", *level)
+	lvl, err := checker.ParseLevel(*level)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	store, claimed := buildStore(lvl, *bug, *seed)
@@ -94,7 +95,7 @@ func main() {
 		if *checkerName != "mtc" && *checkerName != "mtc-incremental" {
 			fatalf("-stream verifies with the incremental MTC engine; it cannot run -checker %s", *checkerName)
 		}
-		runStreaming(store, w, *retries, claimed, *out)
+		runStreaming(store, w, *retries, claimed, *out, *timeout)
 		return
 	}
 
@@ -109,12 +110,11 @@ func main() {
 		fmt.Printf("saved history to %s\n", *out)
 	}
 
-	v, err := checker.Run(*checkerName, res.H, checker.Options{Level: claimed})
+	ctx, cancel := verifyContext(*timeout)
+	defer cancel()
+	v, err := checker.Run(ctx, *checkerName, res.H, checker.Options{Level: claimed})
 	if err != nil {
 		fatalf("%v", err)
-	}
-	if v.Err != "" {
-		fatalf("%s: %s", *checkerName, v.Err)
 	}
 	explain(v)
 	if !v.OK {
@@ -122,8 +122,16 @@ func main() {
 	}
 }
 
+// verifyContext derives the verification context from the -timeout flag.
+func verifyContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
 // explain prints a verdict like core.Result.Explain for every engine.
-func explain(v checker.Verdict) {
+func explain(v checker.Report) {
 	if v.OK {
 		fmt.Printf("[%s] history satisfies %s (%d txns", v.Checker, v.Level, v.Txns)
 		if v.Edges > 0 {
@@ -151,11 +159,16 @@ func explain(v checker.Verdict) {
 
 // runStreaming verifies the run online, reporting the violation at the
 // commit that introduced it.
-func runStreaming(store *kv.Store, w *workload.Workload, retries int, lvl core.Level, out string) {
+func runStreaming(store *kv.Store, w *workload.Workload, retries int, lvl core.Level, out string, timeout time.Duration) {
 	if lvl == core.SSER {
 		fatalf("-stream supports SER and SI (SSER needs the full real-time order); use the batch checker")
 	}
-	res := runner.RunStream(store, w, runner.Config{Retries: retries}, lvl)
+	ctx, cancel := verifyContext(timeout)
+	defer cancel()
+	res := runner.RunStream(ctx, store, w, runner.Config{Retries: retries}, lvl)
+	if res.Err != nil {
+		fmt.Printf("run cut short: %v\n", res.Err)
+	}
 	fmt.Printf("history: %d committed, %d aborted (abort rate %.1f%%)\n",
 		res.Committed, res.Aborted, res.AbortRate()*100)
 	if out != "" {

@@ -1,37 +1,53 @@
 // Service demonstrates checking-as-a-service (the paper's IsoVista
-// future-work direction): it starts the mtc-serve HTTP API in-process,
-// generates a history from the fault-injected MariaDB-Galera-like store,
-// submits it over HTTP, and prints the JSON verdict with its
-// counterexample — the workflow a CI pipeline or database vendor would
-// script against a deployed checker.
+// future-work direction) on the v1 async API: it starts the mtc-serve
+// HTTP handler in-process, generates a history from the fault-injected
+// MariaDB-Galera-like store, submits it as a job through the pkg/client
+// SDK, follows the job's event stream, and prints the structured report
+// with its counterexample — the workflow a CI pipeline or database
+// vendor would script against a deployed checker.
 package main
 
 import (
-	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"mtc/internal/faults"
 	"mtc/internal/history"
 	"mtc/internal/mtcserve"
 	"mtc/internal/runner"
 	"mtc/internal/workload"
+	"mtc/pkg/client"
 )
 
 func main() {
 	srv := httptest.NewServer(mtcserve.Handler())
 	defer srv.Close()
 	fmt.Printf("checking service listening at %s\n\n", srv.URL)
+	c := client.New(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
-	// A healthy history first.
+	infos, err := c.Checkers(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET /v1/checkers -> %d engines registered\n\n", len(infos))
+
+	// A healthy history first: submit -> wait -> verdict in one call.
 	h := history.SerialHistory(50, "x", "y")
-	fmt.Println("POST /check?level=SER  (healthy serial history)")
-	fmt.Println(indent(postHistory(srv.URL+"/check?level=SER", h)))
+	fmt.Println("POST /v1/jobs  (healthy serial history, level SER)")
+	rep, err := c.Check(ctx, client.JobRequest{Level: "SER", History: h})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printJSON(rep)
 
-	// Now hunt the lost-update bug and submit the offending history.
+	// Now hunt the lost-update bug and submit the offending history,
+	// following the job's NDJSON event stream this time.
 	bug := faults.BugByName("mariadb-galera-10.7.3")
 	fmt.Printf("\nhunting %s (%s, claims %s)...\n", bug.Name, bug.Anomaly, bug.Claimed)
 	for seed := int64(1); seed <= 20; seed++ {
@@ -41,47 +57,26 @@ func main() {
 			Dist: workload.Uniform, Seed: seed,
 		})
 		res := runner.Run(store, plan, runner.Config{Retries: 4})
-		body := postHistory(srv.URL+"/check?level=SI", res.H)
-		if bytes.Contains([]byte(body), []byte(`"ok": false`)) {
-			fmt.Printf("\nPOST /check?level=SI  (seed %d, %d committed txns)\n", seed, res.Committed)
-			fmt.Println(indent(body))
+		job, err := c.SubmitJob(ctx, client.JobRequest{Level: "SI", History: res.H})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var done client.JobEvent
+		if err := c.StreamEvents(ctx, job.ID, func(ev client.JobEvent) error {
+			done = ev
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if done.State == client.JobDone && done.Report != nil && !done.Report.OK {
+			fmt.Printf("\njob %s (seed %d, %d committed txns) -> VIOLATION\n", job.ID, seed, res.Committed)
+			printJSON(done.Report)
 			break
 		}
 	}
-
-	// The fixtures endpoint serves the Table-I catalogue.
-	fmt.Println("\nGET /fixtures/LostUpdate?level=SI")
-	resp, err := http.Get(srv.URL + "/fixtures/LostUpdate?level=SI")
-	if err != nil {
-		log.Fatal(err)
-	}
-	b, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	fmt.Println(indent(string(b)))
 }
 
-// postHistory submits a history as JSON and returns the response body.
-func postHistory(url string, h *history.History) string {
-	var buf bytes.Buffer
-	if err := history.WriteJSON(&buf, h); err != nil {
-		log.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", &buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	return string(b)
-}
-
-func indent(s string) string {
-	out := "  "
-	for _, r := range s {
-		out += string(r)
-		if r == '\n' {
-			out += "  "
-		}
-	}
-	return out
+func printJSON(v any) {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(b))
 }

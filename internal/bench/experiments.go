@@ -1,15 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
+	"mtc/internal/checker"
 	"mtc/internal/core"
-	"mtc/internal/cobra"
 	"mtc/internal/elle"
 	"mtc/internal/faults"
 	"mtc/internal/history"
 	"mtc/internal/kv"
-	"mtc/internal/polysi"
 	"mtc/internal/porcupine"
 	"mtc/internal/runner"
 	"mtc/internal/workload"
@@ -154,19 +154,23 @@ func fig7or8(id, title string, lvl core.Level, ax axis) Experiment {
 		var rows []Row
 		for i, p := range pts {
 			h := genMTHistory(lvl, p.sessions, p.txnsPerS, p.objects, p.dist, int64(i+1))
+			// Dispatch through the registry's context-aware path — the same
+			// entry point the v1 job API serves — so the comparison covers
+			// the adapters production traffic exercises.
+			ctx := context.Background()
 			tMTC, _ := measure(func() {
-				if !core.Check(h, lvl).OK {
+				rep, err := checker.Run(ctx, "mtc", h, checker.Options{Level: lvl})
+				if err != nil || !rep.OK {
 					panic("bench: valid history rejected by MTC")
 				}
 			})
+			baseline := "cobra"
+			if lvl == core.SI {
+				baseline = "polysi"
+			}
 			tBase, _ := measure(func() {
-				var ok bool
-				if lvl == core.SI {
-					ok = polysi.CheckSI(h).OK
-				} else {
-					ok = cobra.CheckSER(h).OK
-				}
-				if !ok {
+				rep, err := checker.Run(ctx, baseline, h, checker.Options{Level: lvl})
+				if err != nil || !rep.OK {
 					panic("bench: valid history rejected by baseline")
 				}
 			})
@@ -309,12 +313,12 @@ func fig10or17(id, title string, lvl core.Level, ax axis, memory bool) Experimen
 				})
 				gtH = runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
 			})
+			baseline := "cobra"
+			if lvl == core.SI {
+				baseline = "polysi"
+			}
 			tVerG, mVerG := measure(func() {
-				if lvl == core.SI {
-					polysi.CheckSI(gtH)
-				} else {
-					cobra.CheckSER(gtH)
-				}
+				_, _ = checker.Run(context.Background(), baseline, gtH, checker.Options{Level: lvl})
 			})
 			if memory {
 				rows = append(rows,

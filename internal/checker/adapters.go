@@ -1,7 +1,9 @@
 package checker
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"mtc/internal/cobra"
 	"mtc/internal/core"
@@ -21,9 +23,12 @@ func init() {
 	Register(porcupineChecker{})
 }
 
+// millis converts a duration to the PhaseTiming unit.
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // fromResult normalises a core.Result.
-func fromResult(name string, r core.Result) Verdict {
-	v := Verdict{
+func fromResult(name string, r core.Result) Report {
+	v := Report{
 		Checker: name, Level: r.Level, OK: r.OK,
 		Txns: r.NumTxns, Edges: r.NumEdges,
 		Anomalies: r.Anomalies, Cycle: r.Cycle,
@@ -43,18 +48,16 @@ type mtcChecker struct{}
 func (mtcChecker) Name() string    { return "mtc" }
 func (mtcChecker) Levels() []Level { return []Level{core.SI, core.SER, core.SSER} }
 
-func (mtcChecker) Check(h *history.History, opts Options) Verdict {
+func (mtcChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
 	copts := core.Options{SkipPreCheck: opts.SkipPreCheck, SparseRT: opts.SparseRT}
-	var r core.Result
-	switch opts.Level {
-	case core.SSER:
-		r = core.CheckSSEROpt(h, copts)
-	case core.SER:
-		r = core.CheckSEROpt(h, copts)
-	default:
-		r = core.CheckSIOpt(h, copts)
+	start := time.Now()
+	r, err := core.CheckCtx(ctx, h, opts.Level, copts)
+	if err != nil {
+		return Report{}, err
 	}
-	return fromResult("mtc", r)
+	rep := fromResult("mtc", r)
+	rep.Timings = []PhaseTiming{{Phase: "check", Millis: millis(time.Since(start))}}
+	return rep, nil
 }
 
 // incrementalChecker replays the history through the online engine; on
@@ -64,8 +67,15 @@ type incrementalChecker struct{}
 func (incrementalChecker) Name() string    { return "mtc-incremental" }
 func (incrementalChecker) Levels() []Level { return []Level{core.SI, core.SER} }
 
-func (incrementalChecker) Check(h *history.History, opts Options) Verdict {
-	return fromResult("mtc-incremental", core.CheckIncremental(h, opts.Level))
+func (incrementalChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
+	start := time.Now()
+	r, err := core.CheckIncrementalCtx(ctx, h, opts.Level)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := fromResult("mtc-incremental", r)
+	rep.Timings = []PhaseTiming{{Phase: "replay", Millis: millis(time.Since(start))}}
+	return rep, nil
 }
 
 // cobraChecker serves the Cobra SER baseline.
@@ -74,13 +84,21 @@ type cobraChecker struct{}
 func (cobraChecker) Name() string    { return "cobra" }
 func (cobraChecker) Levels() []Level { return []Level{core.SER} }
 
-func (cobraChecker) Check(h *history.History, opts Options) Verdict {
-	rep := cobra.CheckSER(h)
-	return Verdict{
+func (cobraChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
+	rep, err := cobra.CheckSERCtx(ctx, h)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
 		Checker: "cobra", Level: core.SER, OK: rep.OK,
 		Txns: len(h.Txns), Anomalies: rep.Anomalies,
 		Detail: fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual),
-	}
+		Timings: []PhaseTiming{
+			{Phase: "build", Millis: millis(rep.BuildTime)},
+			{Phase: "prune", Millis: millis(rep.PruneTime)},
+			{Phase: "solve", Millis: millis(rep.SolveTime)},
+		},
+	}, nil
 }
 
 // polysiChecker serves the PolySI SI baseline.
@@ -89,13 +107,21 @@ type polysiChecker struct{}
 func (polysiChecker) Name() string    { return "polysi" }
 func (polysiChecker) Levels() []Level { return []Level{core.SI} }
 
-func (polysiChecker) Check(h *history.History, opts Options) Verdict {
-	rep := polysi.CheckSI(h)
-	return Verdict{
+func (polysiChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
+	rep, err := polysi.CheckSICtx(ctx, h)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
 		Checker: "polysi", Level: core.SI, OK: rep.OK,
 		Txns: len(h.Txns), Anomalies: rep.Anomalies,
 		Detail: fmt.Sprintf("constraints=%d forced=%d residual=%d", rep.Constraints, rep.Forced, rep.Residual),
-	}
+		Timings: []PhaseTiming{
+			{Phase: "build", Millis: millis(rep.BuildTime)},
+			{Phase: "prune", Millis: millis(rep.PruneTime)},
+			{Phase: "solve", Millis: millis(rep.SolveTime)},
+		},
+	}, nil
 }
 
 // elleChecker serves Elle's read-write-register mode.
@@ -104,16 +130,21 @@ type elleChecker struct{}
 func (elleChecker) Name() string    { return "elle" }
 func (elleChecker) Levels() []Level { return []Level{core.SER, core.SI} }
 
-func (elleChecker) Check(h *history.History, opts Options) Verdict {
-	rep := elle.CheckRWRegister(h, elle.Level(opts.Level))
-	v := Verdict{
+func (elleChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
+	start := time.Now()
+	rep, err := elle.CheckRWRegisterCtx(ctx, h, elle.Level(opts.Level))
+	if err != nil {
+		return Report{}, err
+	}
+	v := Report{
 		Checker: "elle", Level: opts.Level, OK: rep.OK,
 		Txns: len(h.Txns), Cycle: rep.Cycle, Detail: rep.Reason,
+		Timings: []PhaseTiming{{Phase: "check", Millis: millis(time.Since(start))}},
 	}
 	if len(rep.Cycle) > 0 {
 		v.Detail = graph.FormatCycle(rep.Cycle)
 	}
-	return v
+	return v, nil
 }
 
 // porcupineChecker serves the Porcupine (WGL) linearizability baseline
@@ -125,17 +156,32 @@ type porcupineChecker struct{}
 func (porcupineChecker) Name() string    { return "porcupine" }
 func (porcupineChecker) Levels() []Level { return []Level{core.SSER} }
 
-func (porcupineChecker) Check(h *history.History, opts Options) Verdict {
+func (porcupineChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	convStart := time.Now()
 	ops, err := LWTFromHistory(h)
 	if err != nil {
-		return Verdict{Checker: "porcupine", Level: core.SSER, Txns: len(h.Txns), Err: err.Error()}
+		return Report{}, &UnsupportedHistoryError{Checker: "porcupine", Reason: err.Error()}
 	}
-	ok := porcupine.Check(ops)
-	v := Verdict{Checker: "porcupine", Level: core.SSER, OK: ok, Txns: len(h.Txns)}
+	convTime := time.Since(convStart)
+	solveStart := time.Now()
+	ok, err := porcupine.CheckCtx(ctx, ops)
+	if err != nil {
+		return Report{}, err
+	}
+	v := Report{
+		Checker: "porcupine", Level: core.SSER, OK: ok, Txns: len(h.Txns),
+		Timings: []PhaseTiming{
+			{Phase: "convert", Millis: millis(convTime)},
+			{Phase: "solve", Millis: millis(time.Since(solveStart))},
+		},
+	}
 	if !ok {
 		v.Detail = "history is not linearizable (WGL search exhausted)"
 	}
-	return v
+	return v, nil
 }
 
 // LWTFromHistory converts an LWT-shaped history into the operation list

@@ -1,0 +1,85 @@
+package checker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+)
+
+// TestSATBackedCheckersHonorDeadline submits a deliberately large job to
+// each SAT-backed baseline under a deadline far shorter than the full
+// run (which takes seconds at this size) and asserts the engine returns
+// context.DeadlineExceeded promptly — the run must stop inside the prune
+// fixpoint or the solver search, not grind to completion.
+func TestSATBackedCheckersHonorDeadline(t *testing.T) {
+	h := history.BlindWriteHistory(4, 200)
+	for _, tc := range []struct {
+		name  string
+		level Level
+	}{
+		{"cobra", core.SER},
+		{"polysi", core.SI},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := Run(ctx, tc.name, h, Options{Level: tc.level})
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("want context.DeadlineExceeded, got %v (after %v)", err, elapsed)
+			}
+			// The deadline is 50ms and cancellation polls run every few
+			// hundred constraints/decisions; 2s is a generous bound that
+			// still proves the multi-second full run was cut short.
+			if elapsed > 2*time.Second {
+				t.Fatalf("cancellation took %v; the deadline did not stop the hot loop", elapsed)
+			}
+		})
+	}
+}
+
+// TestMTCCheckersHonorCanceledContext covers the non-SAT engines: an
+// already-canceled context must surface as context.Canceled from every
+// registry path, not as a verdict.
+func TestMTCCheckersHonorCanceledContext(t *testing.T) {
+	h := history.SerialHistory(64, "x", "y")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"mtc", "mtc-incremental", "cobra", "polysi", "elle", "porcupine"} {
+		if _, err := Run(ctx, name, h, Options{}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: want context.Canceled, got %v", name, err)
+		}
+	}
+}
+
+// TestDenseSSERHonorsDeadline exercises the Θ(n²) dense real-time
+// enumeration: a large timed history under a tiny deadline must stop
+// inside the pair loop.
+func TestDenseSSERHonorsDeadline(t *testing.T) {
+	b := history.NewBuilder("x")
+	v := history.Value(1)
+	ts := int64(1)
+	for i := 0; i < 6000; i++ {
+		b.TimedTxn(0, ts, ts+1, history.R("x", v-1+0), history.W("x", v))
+		ts += 2
+		v++
+	}
+	h := b.Build()
+	// 10ms comfortably outlives the pre-check but expires long before
+	// the ~18M-pair enumeration completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := core.CheckSSERCtx(ctx, h, core.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

@@ -1,16 +1,27 @@
 // Package checker defines the uniform checker abstraction every
 // verification engine in this repository is served through: a Checker
-// interface (name, supported isolation levels, a Check entry point over
-// *history.History), a Verdict type normalising the engines' disparate
-// report structs, and a Registry. The five engines — the paper's
-// linear-time MTC algorithms, the incremental online variant, the
-// Cobra and PolySI polygraph baselines, Elle's register mode, and
-// Porcupine over the lightweight-transaction path — register themselves
-// in the default registry, so cmd/mtc, cmd/mtc-serve and internal/bench
-// select engines by name instead of hard-coding entry points.
+// interface (name, supported isolation levels, a context-aware Check
+// entry point over *history.History), a Report type normalising the
+// engines' disparate report structs into a wire-serializable verdict
+// with structured counterexamples, and a Registry. The five engines —
+// the paper's linear-time MTC algorithms, the incremental online
+// variant, the Cobra and PolySI polygraph baselines, Elle's register
+// mode, and Porcupine over the lightweight-transaction path — register
+// themselves in the default registry, so cmd/mtc, cmd/mtc-serve and
+// internal/bench select engines by name instead of hard-coding entry
+// points.
+//
+// Check separates three outcomes: a Report (the history satisfies or
+// violates the level, with counterexamples), an UnsupportedHistoryError
+// (the engine cannot process this history at all, e.g. Porcupine on a
+// history that is not LWT-shaped), and a context error (the deadline
+// fired; every engine polls its context inside its hot loops, so
+// cancellation actually stops work).
 package checker
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -25,6 +36,18 @@ import (
 // adapters convert freely.
 type Level = core.Level
 
+// ParseLevel maps a level name (any case) to its Level. It is the one
+// canonical parser: the CLIs and the HTTP server both resolve user input
+// through it.
+func ParseLevel(s string) (Level, error) {
+	switch lvl := Level(strings.ToUpper(strings.TrimSpace(s))); lvl {
+	case core.SSER, core.SER, core.SI:
+		return lvl, nil
+	default:
+		return "", fmt.Errorf("checker: unknown isolation level %q (want SSER, SER or SI)", s)
+	}
+}
+
 // Options tunes a checker run.
 type Options struct {
 	// Level selects the isolation level to check. Empty selects the
@@ -38,22 +61,49 @@ type Options struct {
 	SparseRT bool
 }
 
-// Verdict is the normalised outcome of a checker run.
-type Verdict struct {
+// PhaseTiming is the wall-clock cost of one engine phase, in
+// milliseconds; engines report the phases they actually run (e.g. the
+// Cobra pipeline reports build, prune and solve).
+type PhaseTiming struct {
+	Phase  string  `json:"phase"`
+	Millis float64 `json:"millis"`
+}
+
+// Report is the normalised outcome of a checker run. Every field
+// serializes, so a Report round-trips through the v1 API and the Go SDK
+// without loss: anomalies keep their kind/txn/key/value structure and
+// cycles their typed edges.
+type Report struct {
 	Checker   string            `json:"checker"`
 	Level     Level             `json:"level"`
 	OK        bool              `json:"ok"`
 	Txns      int               `json:"txns"`
 	Edges     int               `json:"edges,omitempty"`
-	Anomalies []history.Anomaly `json:"-"`
-	Cycle     []graph.Edge      `json:"-"`
+	Anomalies []history.Anomaly `json:"anomalies,omitempty"`
+	Cycle     []graph.Edge      `json:"cycle,omitempty"`
+	Timings   []PhaseTiming     `json:"timings,omitempty"`
 	// Detail carries the engine-specific account: a counterexample
 	// rendering, solver statistics, or the divergence witness.
 	Detail string `json:"detail,omitempty"`
-	// Err is non-empty when the engine could not process the history at
-	// all (e.g. Porcupine on a history that is not LWT-shaped); OK is
-	// false in that case.
-	Err string `json:"error,omitempty"`
+}
+
+// UnsupportedHistoryError reports that an engine cannot process the
+// submitted history at all — the request was well-formed but the history
+// does not have the shape the engine requires.
+type UnsupportedHistoryError struct {
+	Checker string
+	Reason  string
+}
+
+func (e *UnsupportedHistoryError) Error() string {
+	return fmt.Sprintf("checker: %s cannot process this history: %s", e.Checker, e.Reason)
+}
+
+// IsUnsupported reports whether err marks a history the engine cannot
+// process (as opposed to a verification failure or a context error).
+func IsUnsupported(err error) bool {
+	var u *UnsupportedHistoryError
+	return errors.As(err, &u)
 }
 
 // Checker is one verification engine.
@@ -63,8 +113,12 @@ type Checker interface {
 	// Levels lists the supported isolation levels, default first.
 	Levels() []Level
 	// Check verifies the history at opts.Level (which the Registry
-	// guarantees is one of Levels when dispatching through Run).
-	Check(h *history.History, opts Options) Verdict
+	// guarantees is one of Levels when dispatching through Run). It
+	// polls ctx inside its hot loops and returns ctx's error when the
+	// deadline fires, or an *UnsupportedHistoryError when the engine
+	// cannot process the history; the Report is only meaningful when
+	// the error is nil.
+	Check(ctx context.Context, h *history.History, opts Options) (Report, error)
 }
 
 // Registry maps checker names to engines. The zero value is ready to
@@ -119,25 +173,29 @@ func (r *Registry) All() []Checker {
 }
 
 // Run resolves name, applies the level default, validates the level
-// against the checker's Levels, and dispatches. The returned error marks
-// caller mistakes (unknown checker, unsupported level) as opposed to
-// verification failures, which land in the Verdict.
-func (r *Registry) Run(name string, h *history.History, opts Options) (Verdict, error) {
+// against the checker's Levels, and dispatches under ctx. The returned
+// error marks caller mistakes (unknown checker, unsupported level),
+// unsupported histories, or cancellation — as opposed to verification
+// failures, which land in the Report.
+func (r *Registry) Run(ctx context.Context, name string, h *history.History, opts Options) (Report, error) {
 	c, err := r.Lookup(name)
 	if err != nil {
-		return Verdict{}, err
+		return Report{}, err
 	}
 	if opts.Level == "" {
 		opts.Level = c.Levels()[0]
 	}
-	if !supports(c, opts.Level) {
-		return Verdict{}, fmt.Errorf("checker: %s does not support level %q (supports %s)",
-			c.Name(), opts.Level, levelNames(c.Levels()))
+	if !Supports(c, opts.Level) {
+		return Report{}, fmt.Errorf("checker: %s does not support level %q (supports %s)",
+			c.Name(), opts.Level, LevelNames(c.Levels()))
 	}
-	return c.Check(h, opts), nil
+	return c.Check(ctx, h, opts)
 }
 
-func supports(c Checker, lvl Level) bool {
+// Supports reports whether the engine lists lvl; callers validating a
+// request before dispatching (e.g. at job-submission time) share this
+// with Run's own check.
+func Supports(c Checker, lvl Level) bool {
 	for _, l := range c.Levels() {
 		if l == lvl {
 			return true
@@ -146,7 +204,8 @@ func supports(c Checker, lvl Level) bool {
 	return false
 }
 
-func levelNames(levels []Level) string {
+// LevelNames renders a level list for error messages.
+func LevelNames(levels []Level) string {
 	names := make([]string, len(levels))
 	for i, l := range levels {
 		names[i] = string(l)
@@ -167,6 +226,6 @@ func Lookup(name string) (Checker, error) { return Default.Lookup(name) }
 func Names() []string { return Default.Names() }
 
 // Run dispatches on the default registry.
-func Run(name string, h *history.History, opts Options) (Verdict, error) {
-	return Default.Run(name, h, opts)
+func Run(ctx context.Context, name string, h *history.History, opts Options) (Report, error) {
+	return Default.Run(ctx, name, h, opts)
 }

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestRegistryErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := Run(tc.checker, h, Options{Level: tc.level})
+			_, err := Run(context.Background(), tc.checker, h, Options{Level: tc.level})
 			if err == nil || !strings.Contains(err.Error(), tc.errPart) {
 				t.Fatalf("want error containing %q, got %v", tc.errPart, err)
 			}
@@ -76,7 +77,7 @@ func TestDefaultLevels(t *testing.T) {
 		"mtc": core.SI, "mtc-incremental": core.SI,
 		"cobra": core.SER, "polysi": core.SI, "elle": core.SER,
 	} {
-		v, err := Run(name, h, Options{})
+		v, err := Run(context.Background(), name, h, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -94,7 +95,7 @@ func TestDefaultLevels(t *testing.T) {
 func TestAllCheckersAgreeOnFixture(t *testing.T) {
 	f := history.FixtureByName("WriteSkew")
 	for _, name := range []string{"mtc", "mtc-incremental", "cobra", "elle"} {
-		v, err := Run(name, f.H, Options{Level: core.SER})
+		v, err := Run(context.Background(), name, f.H, Options{Level: core.SER})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -103,7 +104,7 @@ func TestAllCheckersAgreeOnFixture(t *testing.T) {
 		}
 	}
 	for _, name := range []string{"mtc", "mtc-incremental", "polysi"} {
-		v, err := Run(name, f.H, Options{Level: core.SI})
+		v, err := Run(context.Background(), name, f.H, Options{Level: core.SI})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -125,11 +126,11 @@ func lwtHistory() *history.History {
 
 // TestPorcupineAdapter covers the LWT conversion, both shapes.
 func TestPorcupineAdapter(t *testing.T) {
-	v, err := Run("porcupine", lwtHistory(), Options{})
+	v, err := Run(context.Background(), "porcupine", lwtHistory(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Err != "" || !v.OK {
+	if !v.OK {
 		t.Fatalf("linearizable LWT history rejected: %+v", v)
 	}
 
@@ -138,23 +139,20 @@ func TestPorcupineAdapter(t *testing.T) {
 	b.TimedTxn(0, 1, 2, history.W("x", 1))
 	b.TimedTxn(0, 3, 4, history.R("x", 1), history.W("x", 2))
 	b.TimedTxn(1, 5, 6, history.R("x", 1), history.W("x", 3))
-	v, err = Run("porcupine", b.Build(), Options{})
+	v, err = Run(context.Background(), "porcupine", b.Build(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Err != "" || v.OK {
+	if v.OK {
 		t.Fatalf("lost-update LWT history accepted: %+v", v)
 	}
 
 	// Not LWT-shaped: a two-key transaction.
 	b = history.NewBuilder("x", "y")
 	b.Txn(0, history.R("x", 0), history.W("x", 1), history.R("y", 0), history.W("y", 2))
-	v, err = Run("porcupine", b.Build(), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v.Err == "" || v.OK {
-		t.Fatalf("non-LWT history must return a shape error, got %+v", v)
+	_, err = Run(context.Background(), "porcupine", b.Build(), Options{})
+	if !IsUnsupported(err) {
+		t.Fatalf("non-LWT history must return an UnsupportedHistoryError, got %v", err)
 	}
 }
 

@@ -1,0 +1,139 @@
+package checker
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mtc/internal/core"
+	"mtc/internal/graph"
+	"mtc/internal/history"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the wire-format golden files")
+
+// goldenCompare marshals v indented and compares against the golden
+// file, rewriting it under -update-golden.
+func goldenCompare(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("wire format drifted from %s:\n got: %s\nwant: %s", path, got, want)
+	}
+}
+
+// TestReportWireFormatGolden pins the JSON wire format of a Report with
+// both structured counterexample kinds — anomalies and cycle edges —
+// which used to be dropped from serialization entirely (json:"-").
+func TestReportWireFormatGolden(t *testing.T) {
+	rep := Report{
+		Checker: "mtc",
+		Level:   core.SER,
+		OK:      false,
+		Txns:    4,
+		Edges:   7,
+		Anomalies: []history.Anomaly{
+			{Kind: history.AbortedRead, Txn: 2, Key: "x", Value: 41},
+			{Kind: history.DuplicateWrite, Txn: 3, Key: "y", Value: 7},
+		},
+		Cycle: []graph.Edge{
+			{From: 1, To: 2, Kind: graph.WW, Obj: "x"},
+			{From: 2, To: 1, Kind: graph.RW, Obj: "x"},
+			{From: 1, To: 1, Kind: graph.SO},
+		},
+		Timings: []PhaseTiming{{Phase: "check", Millis: 1.5}},
+		Detail:  "T1 -WW(x)-> T2 -RW(x)-> T1",
+	}
+	goldenCompare(t, "report.golden.json", rep)
+
+	// And the happy path: optional fields must be omitted, not nulled.
+	goldenCompare(t, "report_ok.golden.json", Report{
+		Checker: "polysi", Level: core.SI, OK: true, Txns: 9,
+	})
+}
+
+// TestReportRoundTrip asserts Report survives marshal/unmarshal without
+// loss, including the enum-as-string encodings.
+func TestReportRoundTrip(t *testing.T) {
+	in := Report{
+		Checker: "elle", Level: core.SI, OK: false, Txns: 3, Edges: 4,
+		Anomalies: []history.Anomaly{{Kind: history.IntermediateRead, Txn: 1, Key: "k", Value: 9}},
+		Cycle:     []graph.Edge{{From: 0, To: 1, Kind: graph.WR, Obj: "k"}, {From: 1, To: 0, Kind: graph.RW, Obj: "k"}},
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip lost data:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestLiveReportSerializesCounterexample runs a real engine on a
+// violating fixture and asserts the wire form carries the cycle.
+func TestLiveReportSerializesCounterexample(t *testing.T) {
+	f := history.FixtureByName("WriteSkew")
+	rep, err := Run(context.Background(), "mtc", f.H, Options{Level: core.SER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || len(rep.Cycle) == 0 {
+		t.Fatalf("write skew must yield a cycle: %+v", rep)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	cycle, ok := decoded["cycle"].([]any)
+	if !ok || len(cycle) != len(rep.Cycle) {
+		t.Fatalf("cycle not serialized: %s", raw)
+	}
+	first, _ := cycle[0].(map[string]any)
+	if _, ok := first["kind"].(string); !ok {
+		t.Fatalf("cycle edge kind must serialize as a string: %s", raw)
+	}
+}
+
+// TestParseLevel covers the canonical level parser shared by the CLIs
+// and the server.
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"SER": core.SER, "ser": core.SER, " si ": core.SI, "SSER": core.SSER,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "SERIALIZABLE", "bogus"} {
+		if _, err := ParseLevel(in); err == nil {
+			t.Fatalf("ParseLevel(%q) must fail", in)
+		}
+	}
+}

@@ -8,6 +8,9 @@
 package cobra
 
 import (
+	"context"
+	"time"
+
 	"mtc/internal/history"
 	"mtc/internal/polygraph"
 	"mtc/internal/sat"
@@ -24,22 +27,46 @@ type Report struct {
 	Forced      int
 	Residual    int
 	Solver      sat.Result
+	// Per-phase wall-clock durations of the pipeline stages.
+	BuildTime, PruneTime, SolveTime time.Duration
 }
 
 // CheckSER verifies serializability of a general (or MT) history.
 func CheckSER(h *history.History) Report {
+	rep, _ := CheckSERCtx(context.Background(), h)
+	return rep
+}
+
+// CheckSERCtx is CheckSER under a context: both the pruning fixpoint and
+// the SAT search poll ctx, so a deadline stops the run promptly. The
+// Report is only meaningful when the returned error is nil.
+func CheckSERCtx(ctx context.Context, h *history.History) (Report, error) {
 	if as := history.CheckInternal(h); len(as) > 0 {
-		return Report{OK: false, Anomalies: as}
+		return Report{OK: false, Anomalies: as}, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	start := time.Now()
 	p := polygraph.Build(h)
-	rep := Report{Constraints: len(p.Cons)}
-	if !p.Prune(polygraph.PruneSER) {
-		rep.Forced = p.Forced
-		return rep
+	rep := Report{Constraints: len(p.Cons), BuildTime: time.Since(start)}
+	start = time.Now()
+	ok, err := p.PruneCtx(ctx, polygraph.PruneSER)
+	rep.PruneTime = time.Since(start)
+	if err != nil {
+		return rep, err
 	}
 	rep.Forced = p.Forced
+	if !ok {
+		return rep, nil
+	}
 	rep.Residual = len(p.Cons)
-	rep.Solver = sat.SolveAcyclic(p.N, p.Known, p.Cons)
+	start = time.Now()
+	rep.Solver, err = sat.SolveAcyclicCtx(ctx, p.N, p.Known, p.Cons)
+	rep.SolveTime = time.Since(start)
+	if err != nil {
+		return rep, err
+	}
 	rep.OK = rep.Solver.Sat
-	return rep
+	return rep, nil
 }

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -132,12 +133,39 @@ func buildViews(h *history.History) []txnView {
 // inferring WW edges; CheckSI uses it for its early exit, and the other
 // checkers ignore it (Lemma 3 handles those cases through cycles).
 func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergence) {
+	g, divs, _ := buildDependencyCtx(context.Background(), h, withRT)
+	return g, divs
+}
+
+// ctxCancel aborts the dense real-time enumeration from inside its
+// callback; buildDependencyCtx recovers it into a plain error.
+type ctxCancel struct{ err error }
+
+// buildDependencyCtx is BuildDependency polling ctx between batches of
+// transactions (and real-time pairs), so construction of large graphs
+// stops promptly under a deadline.
+func buildDependencyCtx(ctx context.Context, h *history.History, withRT bool) (g *graph.Graph, divs []Divergence, err error) {
 	views := buildViews(h)
 	idx, _ := history.BuildWriterIndex(h)
-	g := graph.New(len(h.Txns))
+	g = graph.New(len(h.Txns))
 
 	if withRT {
+		defer func() {
+			if r := recover(); r != nil {
+				if c, ok := r.(ctxCancel); ok {
+					g, divs, err = nil, nil, c.err
+					return
+				}
+				panic(r)
+			}
+		}()
+		pairs := 0
 		h.RealTimeOrder(func(a, b int) {
+			if pairs++; pairs&8191 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					panic(ctxCancel{err: cerr})
+				}
+			}
 			g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.RT})
 		})
 	}
@@ -153,7 +181,6 @@ func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergenc
 	}
 	wrOut := make([][]dep, len(h.Txns))
 	wwOut := make([][]dep, len(h.Txns))
-	var divs []Divergence
 	// divSeen tracks, per (writer,key), the first RMW reader, to report
 	// divergence when a second one appears.
 	type wk struct {
@@ -163,6 +190,11 @@ func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergenc
 	firstRMW := make(map[wk]int)
 
 	for s := range h.Txns {
+		if s&1023 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, cerr
+			}
+		}
 		if !h.Txns[s].Committed {
 			continue
 		}
@@ -195,6 +227,11 @@ func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergenc
 	// RW edges: T' -WR(x)-> T and T' -WW(x)-> S with T != S gives
 	// T -RW(x)-> S (lines 14-15 of BuildDependency).
 	for w := range h.Txns {
+		if w&1023 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, cerr
+			}
+		}
 		if len(wrOut[w]) == 0 || len(wwOut[w]) == 0 {
 			continue
 		}
@@ -207,7 +244,7 @@ func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergenc
 			}
 		}
 	}
-	return g, divs
+	return g, divs, nil
 }
 
 // preCheck runs CheckInternal unless disabled, returning a failed Result
@@ -228,17 +265,34 @@ func CheckSER(h *history.History) Result { return CheckSEROpt(h, Options{}) }
 
 // CheckSEROpt is CheckSER with options.
 func CheckSEROpt(h *history.History, opts Options) Result {
-	if r := preCheck(h, SER, opts); r != nil {
-		return *r
+	r, _ := CheckSERCtx(context.Background(), h, opts)
+	return r
+}
+
+// CheckSERCtx is CheckSER under a context: graph construction polls ctx
+// and the run returns the context's error instead of a verdict when the
+// deadline fires.
+func CheckSERCtx(ctx context.Context, h *history.History, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
-	g, _ := BuildDependency(h, false)
+	if r := preCheck(h, SER, opts); r != nil {
+		return *r, nil
+	}
+	g, _, err := buildDependencyCtx(ctx, h, false)
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{Level: SER, NumTxns: len(h.Txns), NumEdges: g.NumEdges()}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if cycle := g.FindCycle(); cycle != nil {
 		res.Cycle = cycle
-		return res
+		return res, nil
 	}
 	res.OK = true
-	return res
+	return res, nil
 }
 
 // CheckSSER decides strict serializability (Definition 4): like CheckSER
@@ -248,23 +302,44 @@ func CheckSSER(h *history.History) Result { return CheckSSEROpt(h, Options{}) }
 
 // CheckSSEROpt is CheckSSER with options.
 func CheckSSEROpt(h *history.History, opts Options) Result {
+	r, _ := CheckSSERCtx(context.Background(), h, opts)
+	return r
+}
+
+// CheckSSERCtx is CheckSSER under a context. The dense Θ(n²) real-time
+// enumeration polls ctx between batches of pairs, so the quadratic
+// construction stops promptly under a deadline.
+func CheckSSERCtx(ctx context.Context, h *history.History, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if r := preCheck(h, SSER, opts); r != nil {
-		return *r
+		return *r, nil
 	}
 	var g *graph.Graph
 	if opts.SparseRT {
-		base, _ := BuildDependency(h, false)
+		base, _, err := buildDependencyCtx(ctx, h, false)
+		if err != nil {
+			return Result{}, err
+		}
 		g = addSparseRT(h, base)
 	} else {
-		g, _ = BuildDependency(h, true)
+		var err error
+		g, _, err = buildDependencyCtx(ctx, h, true)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	res := Result{Level: SSER, NumTxns: len(h.Txns), NumEdges: g.NumEdges()}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if cycle := g.FindCycle(); cycle != nil {
 		res.Cycle = compressAux(cycle)
-		return res
+		return res, nil
 	}
 	res.OK = true
-	return res
+	return res, nil
 }
 
 // CheckSI decides snapshot isolation (Definition 6) in Θ(n): reject on any
@@ -274,22 +349,38 @@ func CheckSI(h *history.History) Result { return CheckSIOpt(h, Options{}) }
 
 // CheckSIOpt is CheckSI with options.
 func CheckSIOpt(h *history.History, opts Options) Result {
-	if r := preCheck(h, SI, opts); r != nil {
-		return *r
+	r, _ := CheckSICtx(context.Background(), h, opts)
+	return r
+}
+
+// CheckSICtx is CheckSI under a context: graph construction and the
+// composition step poll ctx, returning its error when the deadline fires.
+func CheckSICtx(ctx context.Context, h *history.History, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
-	g, divs := BuildDependency(h, false)
+	if r := preCheck(h, SI, opts); r != nil {
+		return *r, nil
+	}
+	g, divs, err := buildDependencyCtx(ctx, h, false)
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{Level: SI, NumTxns: len(h.Txns), NumEdges: g.NumEdges()}
 	if len(divs) > 0 {
 		res.Divergence = &divs[0]
-		return res
+		return res, nil
 	}
 	gi, expand := induceSI(g)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if cycle := gi.FindCycle(); cycle != nil {
 		res.Cycle = expandComposed(cycle, expand)
-		return res
+		return res, nil
 	}
 	res.OK = true
-	return res
+	return res, nil
 }
 
 // composedKey identifies a composed edge for counterexample expansion.
@@ -427,5 +518,21 @@ func Check(h *history.History, lvl Level) Result {
 		return CheckSI(h)
 	default:
 		panic(fmt.Sprintf("core: unknown level %q", lvl))
+	}
+}
+
+// CheckCtx dispatches on the level name under a context. Unlike Check it
+// reports an unknown level as an error rather than panicking, since the
+// level may originate from an API request.
+func CheckCtx(ctx context.Context, h *history.History, lvl Level, opts Options) (Result, error) {
+	switch lvl {
+	case SSER:
+		return CheckSSERCtx(ctx, h, opts)
+	case SER:
+		return CheckSERCtx(ctx, h, opts)
+	case SI:
+		return CheckSICtx(ctx, h, opts)
+	default:
+		return Result{}, fmt.Errorf("core: unknown level %q", lvl)
 	}
 }

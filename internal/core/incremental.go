@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -431,6 +432,14 @@ func (inc *Incremental) Finalize() Result {
 // replay exactly in ID order. Counterexample transaction IDs are mapped
 // back to History.Txns indices before returning.
 func CheckIncremental(h *history.History, lvl Level) Result {
+	r, _ := CheckIncrementalCtx(context.Background(), h, lvl)
+	return r
+}
+
+// CheckIncrementalCtx is CheckIncremental under a context: the replay
+// loop polls ctx between batches of transactions, so long replays stop
+// promptly under a deadline.
+func CheckIncrementalCtx(ctx context.Context, h *history.History, lvl Level) (Result, error) {
 	order := make([]int, len(h.Txns))
 	for i := range order {
 		order[i] = i
@@ -440,13 +449,18 @@ func CheckIncremental(h *history.History, lvl Level) Result {
 	})
 	inc := NewIncremental(lvl)
 	perm := make([]int, 0, len(order)) // arrival position -> original ID
-	for _, id := range order {
+	for i, id := range order {
+		if i&511 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		perm = append(perm, id)
 		if vio := inc.add(h.Txns[id], h.HasInit && id == 0); vio != nil {
-			return remapResult(*vio, perm)
+			return remapResult(*vio, perm), nil
 		}
 	}
-	return remapResult(inc.Finalize(), perm)
+	return remapResult(inc.Finalize(), perm), nil
 }
 
 // remapResult rewrites stream-position transaction IDs in a verdict back

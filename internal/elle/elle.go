@@ -10,6 +10,7 @@
 package elle
 
 import (
+	"context"
 	"fmt"
 
 	"mtc/internal/graph"
@@ -292,10 +293,22 @@ func cycleCheck(rep Report, g *graph.Graph, lvl Level) Report {
 // list-append (or MTC's RMW-only workloads) would catch — the effect
 // Figure 13 quantifies.
 func CheckRWRegister(h *history.History, lvl Level) Report {
+	rep, _ := CheckRWRegisterCtx(context.Background(), h, lvl)
+	return rep
+}
+
+// CheckRWRegisterCtx is CheckRWRegister under a context: the dependency
+// inference polls ctx between batches of transactions, so large
+// histories stop promptly under a deadline. The Report is only
+// meaningful when the error is nil.
+func CheckRWRegisterCtx(ctx context.Context, h *history.History, lvl Level) (Report, error) {
 	rep := Report{Level: lvl}
 	if as := history.CheckInternal(h); len(as) > 0 {
 		rep.Reason = as[0].String()
-		return rep
+		return rep, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
 	}
 	idx, _ := history.BuildWriterIndex(h)
 	g := graph.New(len(h.Txns))
@@ -309,6 +322,11 @@ func CheckRWRegister(h *history.History, lvl Level) Report {
 	readers := map[wk][]int{}
 	rmwSucc := map[wk][]int{} // divergence yields several successors
 	for s := range h.Txns {
+		if s&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
+		}
 		t := &h.Txns[s]
 		if !t.Committed {
 			continue
@@ -333,7 +351,7 @@ func CheckRWRegister(h *history.History, lvl Level) Report {
 			// Two transactions updated the same version: a lost update,
 			// which SI forbids regardless of the composition graph.
 			rep.Reason = fmt.Sprintf("diverging updates of T%d on %s (lost update)", key.w, key.k)
-			return rep
+			return rep, nil
 		}
 		for _, succ := range succs {
 			for _, r := range readers[key] {
@@ -343,5 +361,8 @@ func CheckRWRegister(h *history.History, lvl Level) Report {
 			}
 		}
 	}
-	return cycleCheck(rep, g, lvl)
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	return cycleCheck(rep, g, lvl), nil
 }

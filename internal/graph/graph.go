@@ -8,6 +8,7 @@
 package graph
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,12 +47,43 @@ func (k EdgeKind) String() string {
 	}
 }
 
+// ParseEdgeKind maps a conventional edge-kind name back to its EdgeKind.
+func ParseEdgeKind(s string) (EdgeKind, error) {
+	for _, k := range []EdgeKind{SO, RT, WR, WW, RW, AUX} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("graph: unknown edge kind %q", s)
+}
+
+// MarshalJSON serializes the kind as its conventional name, so cycles in
+// API responses read "WR"/"RW" rather than opaque integers.
+func (k EdgeKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses the conventional name form written by MarshalJSON.
+func (k *EdgeKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseEdgeKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
 // Edge is a typed, labelled edge between two nodes. Obj is the object (key)
 // the dependency concerns; it is empty for SO, RT and AUX edges.
 type Edge struct {
-	From, To int
-	Kind     EdgeKind
-	Obj      string
+	From int      `json:"from"`
+	To   int      `json:"to"`
+	Kind EdgeKind `json:"kind"`
+	Obj  string   `json:"obj,omitempty"`
 }
 
 // String renders the edge as "From -KIND(obj)-> To".

@@ -1,6 +1,9 @@
 package history
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // AnomalyKind enumerates the intra-transactional and G1 anomalies that the
 // MTC pipeline pre-checks before building the dependency graph (footnote 1
@@ -43,12 +46,42 @@ func (k AnomalyKind) String() string {
 	}
 }
 
+// ParseAnomalyKind maps a conventional anomaly name back to its kind.
+func ParseAnomalyKind(s string) (AnomalyKind, error) {
+	for k := ThinAirRead; k <= DuplicateWrite; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("history: unknown anomaly kind %q", s)
+}
+
+// MarshalJSON serializes the kind as its conventional name, so anomaly
+// lists in API responses read "AbortedRead" rather than opaque integers.
+func (k AnomalyKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses the conventional name form written by MarshalJSON.
+func (k *AnomalyKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseAnomalyKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
 // Anomaly is one detected pre-check violation.
 type Anomaly struct {
-	Kind  AnomalyKind
-	Txn   int // offending transaction ID
-	Key   Key
-	Value Value
+	Kind  AnomalyKind `json:"kind"`
+	Txn   int         `json:"txn"` // offending transaction ID
+	Key   Key         `json:"key"`
+	Value Value       `json:"value"`
 }
 
 // String renders the anomaly with its location.

@@ -207,3 +207,22 @@ func SerialHistory(n int, keys ...Key) *History {
 	}
 	return b.Build()
 }
+
+// BlindWriteHistory returns a history whose every transaction blindly
+// writes one fresh value to a single key, sessions×perSession in all.
+// With no reads, writer pairs cannot be coalesced into RMW chains, so
+// the constraint-solving baselines (Cobra, PolySI) face a quadratic
+// number of undetermined write orders — deliberately expensive for them
+// while remaining a valid, serializable history. Used as a negative
+// control for deadline/cancellation tests.
+func BlindWriteHistory(sessions, perSession int) *History {
+	b := NewBuilder()
+	v := Value(1)
+	for s := 0; s < sessions; s++ {
+		for i := 0; i < perSession; i++ {
+			b.Txn(s, W("x", v))
+			v++
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,409 @@
+package mtcserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mtc/internal/api"
+	"mtc/internal/checker"
+	"mtc/internal/history"
+)
+
+// Job-model defaults; Server fields override them.
+const (
+	DefaultWorkers     = 4
+	DefaultQueueDepth  = 64
+	DefaultJobTimeout  = time.Minute
+	MaxRequestTimeout  = 10 * time.Minute
+	DefaultMaxJobs     = 1024
+	defaultRetryAfterS = 1
+)
+
+// job is one queued or executing whole-history check. The submit
+// handler allocates it, a pool worker executes it under a per-job
+// timeout, and DELETE cancels its context — which both dequeues a
+// queued job (the worker drops it on pickup) and stops a running
+// engine mid-loop.
+type job struct {
+	id      string
+	checker string
+	opts    checker.Options
+	timeout time.Duration
+	txns    int
+	// h is released once the job is terminal, so completed jobs do not
+	// pin their submitted histories in memory.
+	h *history.History
+
+	// cancel aborts the job at any stage; ctx is its parent context.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	report   *checker.Report
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	events   []api.JobEvent
+	subs     []chan api.JobEvent
+}
+
+// status snapshots the job's wire document.
+func (j *job) status() api.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := api.Job{
+		ID: j.id, State: j.state,
+		Checker: j.checker, Level: string(j.opts.Level),
+		Txns: j.txns, Report: j.report, Error: j.errMsg,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		doc.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		doc.FinishedAt = &t
+	}
+	return doc
+}
+
+// transition moves the job to state and broadcasts the event to every
+// subscriber. It refuses to leave a terminal state (a cancel racing a
+// completion keeps whichever landed first).
+func (j *job) transition(state string, report *checker.Report, errMsg string) bool {
+	j.mu.Lock()
+	if api.JobTerminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	now := time.Now()
+	switch {
+	case state == api.JobRunning:
+		j.started = now
+	case api.JobTerminal(state):
+		j.finished = now
+		j.h = nil // release the history; only the report is served now
+	}
+	j.report = report
+	j.errMsg = errMsg
+	ev := api.JobEvent{JobID: j.id, Seq: len(j.events), State: state, Report: report, Error: errMsg}
+	j.events = append(j.events, ev)
+	subs := make([]chan api.JobEvent, len(j.subs))
+	copy(subs, j.subs)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // subscriber stalled; it will re-sync from events on reconnect
+		}
+	}
+	return true
+}
+
+// subscribe returns the replayed past events plus a channel for future
+// ones. Callers must unsubscribe.
+func (j *job) subscribe() ([]api.JobEvent, chan api.JobEvent) {
+	ch := make(chan api.JobEvent, 8)
+	j.mu.Lock()
+	past := make([]api.JobEvent, len(j.events))
+	copy(past, j.events)
+	j.subs = append(j.subs, ch)
+	j.mu.Unlock()
+	return past, ch
+}
+
+func (j *job) unsubscribe(ch chan api.JobEvent) {
+	j.mu.Lock()
+	for i, s := range j.subs {
+		if s == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			break
+		}
+	}
+	j.mu.Unlock()
+}
+
+// startWorkers lazily starts the pool on first submission, so a Server
+// constructed literally (or by tests) needs no explicit lifecycle call.
+func (s *Server) startWorkers() {
+	s.workersOnce.Do(func() {
+		s.queue = make(chan *job, s.queueDepth())
+		for i := 0; i < s.workers(); i++ {
+			go func() {
+				for j := range s.queue {
+					s.runJob(j)
+				}
+			}()
+		}
+	})
+}
+
+// Close stops the worker pool after the queued jobs drain. Submissions
+// after Close are rejected with 503.
+func (s *Server) Close() {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.startWorkers() // ensure the queue exists before closing it
+	close(s.queue)
+}
+
+// runJob executes one job on a pool worker under its timeout.
+func (s *Server) runJob(j *job) {
+	if j.ctx.Err() != nil { // deleted while queued
+		j.transition(api.JobCanceled, nil, "job canceled before execution")
+		return
+	}
+	j.mu.Lock()
+	h := j.h // snapshot under j.mu: a racing DELETE nils it in transition
+	j.mu.Unlock()
+	if !j.transition(api.JobRunning, nil, "") {
+		return
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, j.timeout)
+	defer cancel()
+	rep, err := s.reg.Run(ctx, j.checker, h, j.opts)
+	switch {
+	case err == nil:
+		j.transition(api.JobDone, &rep, "")
+	case errors.Is(err, context.Canceled) && j.ctx.Err() != nil:
+		j.transition(api.JobCanceled, nil, "job canceled")
+	case errors.Is(err, context.DeadlineExceeded):
+		j.transition(api.JobFailed, nil, "job timed out after "+j.timeout.String())
+	default:
+		j.transition(api.JobFailed, nil, err.Error())
+	}
+}
+
+// handleJobSubmit implements POST /v1/jobs: validate, enqueue, 202.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad job request: %v", err)
+		return
+	}
+	name := req.Checker
+	if name == "" {
+		name = s.defaultChecker()
+	}
+	c, err := s.reg.Lookup(name)
+	if err != nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeUnknownChecker, "%v", err)
+		return
+	}
+	opts := checker.Options{SkipPreCheck: req.SkipPreCheck, SparseRT: req.SparseRT}
+	if req.Level != "" {
+		lvl, err := checker.ParseLevel(req.Level)
+		if err != nil {
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeUnsupportedLevel, "%v", err)
+			return
+		}
+		if !checker.Supports(c, lvl) {
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeUnsupportedLevel,
+				"checker %s does not support level %q (supports %s)", c.Name(), lvl, checker.LevelNames(c.Levels()))
+			return
+		}
+		opts.Level = lvl
+	} else {
+		opts.Level = c.Levels()[0]
+	}
+	if req.History == nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeInvalidHistory, "missing required field \"history\"")
+		return
+	}
+	if err := req.History.Validate(); err != nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeInvalidHistory, "bad history: %v", err)
+		return
+	}
+	timeout := s.jobTimeout()
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > MaxRequestTimeout {
+			timeout = MaxRequestTimeout
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		checker: name, opts: opts, timeout: timeout,
+		txns: len(req.History.Txns), h: req.History,
+		ctx: ctx, cancel: cancel,
+		state: api.JobQueued, created: time.Now(),
+	}
+	j.events = append(j.events, api.JobEvent{JobID: "", Seq: 0, State: api.JobQueued})
+
+	s.startWorkers()
+	s.jobsMu.Lock()
+	if s.closed {
+		s.jobsMu.Unlock()
+		cancel()
+		s.v1Error(w, r, http.StatusServiceUnavailable, api.CodeInternal, "server is shutting down")
+		return
+	}
+	s.evictTerminalLocked()
+	s.nextJobID++
+	j.id = "j" + strconv.Itoa(s.nextJobID)
+	j.events[0].JobID = j.id
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.jobsMu.Unlock()
+	default:
+		s.jobsMu.Unlock()
+		cancel()
+		w.Header().Set("Retry-After", strconv.Itoa(defaultRetryAfterS))
+		s.v1Error(w, r, http.StatusTooManyRequests, api.CodeQueueFull,
+			"job queue is full (%d queued); retry shortly", s.queueDepth())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleJobList implements GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobsMu.Unlock()
+	out := api.JobList{Jobs: make([]api.Job, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.status())
+	}
+	// Deterministic order: job IDs are "j<n>", so sort by numeric suffix.
+	sort.Slice(out.Jobs, func(i, k int) bool {
+		return jobNum(out.Jobs[i].ID) < jobNum(out.Jobs[k].ID)
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func jobNum(id string) int {
+	n, _ := strconv.Atoi(id[1:])
+	return n
+}
+
+
+// evictTerminalLocked bounds the retained job table: when the cap is
+// reached, the oldest terminal jobs are forgotten (their reports become
+// 404s). Queued and running jobs are never evicted — they are already
+// bounded by the queue depth and the worker count. Caller holds jobsMu.
+func (s *Server) evictTerminalLocked() {
+	max := s.MaxJobs
+	if max <= 0 {
+		max = DefaultMaxJobs
+	}
+	if len(s.jobs) < max {
+		return
+	}
+	ids := make([]string, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		terminal := api.JobTerminal(j.state)
+		j.mu.Unlock()
+		if terminal {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, k int) bool { return jobNum(ids[i]) < jobNum(ids[k]) })
+	for _, id := range ids {
+		if len(s.jobs) < max {
+			return
+		}
+		delete(s.jobs, id)
+	}
+}
+
+// handleJobGet implements GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobDelete implements DELETE /v1/jobs/{id}: cancel and forget.
+// Cancelling the context stops a running worker at its next poll and
+// makes a queued job a no-op when popped.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobsMu.Lock()
+	j := s.jobs[id]
+	delete(s.jobs, id)
+	s.jobsMu.Unlock()
+	if j == nil {
+		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown job %q", id)
+		return
+	}
+	j.cancel()
+	j.transition(api.JobCanceled, nil, "job canceled")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleJobEvents implements GET /v1/jobs/{id}/events: an NDJSON stream
+// of state transitions, replaying history first and then following the
+// live job until it is terminal or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	past, ch := j.subscribe()
+	defer j.unsubscribe(ch)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	seq := 0
+	for _, ev := range past {
+		_ = enc.Encode(ev)
+		seq = ev.Seq + 1
+		if api.JobTerminal(ev.State) {
+			flush()
+			return
+		}
+	}
+	flush()
+	for {
+		select {
+		case ev := <-ch:
+			if ev.Seq < seq {
+				continue // already replayed
+			}
+			seq = ev.Seq + 1
+			_ = enc.Encode(ev)
+			flush()
+			if api.JobTerminal(ev.State) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) lookupJob(id string) *job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}

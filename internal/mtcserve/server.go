@@ -4,20 +4,35 @@
 // future work. Engines are resolved through the checker registry
 // (internal/checker), so every registered checker — the batch MTC
 // algorithms, the online incremental engine, and the Cobra, PolySI, Elle
-// and Porcupine baselines — is reachable by name; and session-scoped
-// streaming endpoints feed transactions to core.Incremental as they
-// commit, so a deployment can verify continuously under live traffic
-// instead of shipping complete histories.
+// and Porcupine baselines — is reachable by name.
 //
-//	GET  /checkers                  registered checkers and their levels
-//	POST /check?checker=&level=     batch check a history JSON body
-//	GET  /fixtures                  the built-in anomaly fixtures
-//	GET  /fixtures/{name}?level=    verdict on a fixture
-//	POST /sessions                  open a streaming session {level, keys}
-//	POST /sessions/{id}/txns        feed one txn or an array of txns
-//	GET  /sessions/{id}/verdict     verdict so far (?final=1 closes)
-//	DELETE /sessions/{id}           discard a session
-//	GET  /healthz
+// The v1 API is asynchronous: whole-history checks are submitted as jobs
+// executed by a bounded worker pool under per-job timeouts (the engines
+// poll their contexts, so a deadline actually stops work), polled by id,
+// and observable as an NDJSON event stream. Streaming verification
+// sessions feed transactions to core.Incremental as they commit, so a
+// deployment can verify continuously under live traffic instead of
+// shipping complete histories.
+//
+//	GET    /v1/checkers                 registered checkers and their levels
+//	POST   /v1/jobs                     submit a whole-history check -> 202 + job id
+//	GET    /v1/jobs                     list known jobs
+//	GET    /v1/jobs/{id}                poll job status (report once done)
+//	GET    /v1/jobs/{id}/events         NDJSON stream of job state transitions
+//	DELETE /v1/jobs/{id}                cancel and forget a job (stops its worker)
+//	POST   /v1/sessions                 open a streaming session {level, keys}
+//	POST   /v1/sessions/{id}/txns       feed one txn or an array of txns
+//	GET    /v1/sessions/{id}/verdict    verdict so far (?final=1 closes)
+//	DELETE /v1/sessions/{id}            discard a session
+//	GET    /v1/fixtures                 the built-in anomaly fixtures
+//	GET    /v1/fixtures/{name}?level=   report on a fixture
+//	GET    /healthz
+//
+// The pre-v1 routes (/checkers, /check, /fixtures, /sessions) remain as
+// thin deprecated aliases; they answer with Deprecation and Link headers
+// naming their v1 successor. Every request carries an X-Request-Id
+// (client-supplied or generated), v1 errors use a structured
+// {error:{code,message}} envelope, and request bodies are size-limited.
 package mtcserve
 
 import (
@@ -25,18 +40,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"mtc/internal/api"
 	"mtc/internal/checker"
 	"mtc/internal/core"
 	"mtc/internal/graph"
 	"mtc/internal/history"
 )
 
-// Verdict is the JSON wire form of a checker verdict.
+// Verdict is the legacy JSON wire form of a checker verdict, served by
+// the deprecated pre-v1 routes. v1 responses embed checker.Report
+// instead, which keeps anomalies and cycle edges structured.
 type Verdict struct {
 	Level     string   `json:"level"`
 	Checker   string   `json:"checker"`
@@ -48,37 +68,61 @@ type Verdict struct {
 	Detail    string   `json:"detail,omitempty"`
 }
 
-// apiError is the structured error body every failing endpoint returns.
+// apiError is the legacy flat error body of the deprecated routes.
 type apiError struct {
 	Error string `json:"error"`
 }
 
 // checkerInfo describes one registry entry in GET /checkers.
-type checkerInfo struct {
-	Name   string   `json:"name"`
-	Levels []string `json:"levels"`
-}
+type checkerInfo = api.CheckerInfo
 
-// Server carries the registry and the live streaming sessions. Safe for
-// concurrent use.
+// Server carries the registry, the job pool, and the live streaming
+// sessions. Safe for concurrent use. The zero-value knobs select the
+// defaults; construct with NewServer and serve Handler().
 type Server struct {
 	reg *checker.Registry
-	// DefaultChecker is used by /check when no checker query parameter
-	// is given; empty means "mtc". Set before serving.
+	// DefaultChecker is used when no checker is named; empty means "mtc".
 	DefaultChecker string
 	// MaxSessions bounds concurrently live streaming sessions; a session
 	// holds checker state proportional to the transactions fed, so
 	// abandoned sessions must not accumulate without limit. 0 uses
-	// DefaultMaxSessions. Clients free slots with DELETE /sessions/{id}.
+	// DefaultMaxSessions. Clients free slots with DELETE /v1/sessions/{id}.
 	MaxSessions int
+	// Workers sizes the job worker pool (default DefaultWorkers).
+	Workers int
+	// QueueDepth bounds queued-but-unstarted jobs (default
+	// DefaultQueueDepth); a full queue answers 429 with Retry-After.
+	QueueDepth int
+	// JobTimeout is the default per-job execution timeout (default
+	// DefaultJobTimeout); requests may lower or raise it up to
+	// MaxRequestTimeout.
+	JobTimeout time.Duration
+	// MaxJobs bounds the retained job table (default DefaultMaxJobs):
+	// when reached, the oldest terminal jobs are forgotten to make room,
+	// so completed reports do not accumulate without limit.
+	MaxJobs int
+	// MaxBodyBytes bounds request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// Logger receives the structured access log; nil discards it.
+	Logger *slog.Logger
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
+
+	jobsMu      sync.Mutex
+	jobs        map[string]*job
+	nextJobID   int
+	queue       chan *job
+	workersOnce sync.Once
+	closed      bool
 }
 
 // DefaultMaxSessions is the default cap on live streaming sessions.
 const DefaultMaxSessions = 1024
+
+// DefaultMaxBodyBytes is the default request-body size limit.
+const DefaultMaxBodyBytes = 64 << 20
 
 // session is one streaming verification session.
 type session struct {
@@ -95,28 +139,93 @@ func NewServer(reg *checker.Registry) *Server {
 	if reg == nil {
 		reg = checker.Default
 	}
-	return &Server{reg: reg, sessions: make(map[string]*session)}
+	return &Server{
+		reg:      reg,
+		sessions: make(map[string]*session),
+		jobs:     make(map[string]*job),
+	}
 }
 
 // Handler returns the service's HTTP handler over the default registry.
 func Handler() http.Handler { return NewServer(nil).Handler() }
 
-// Handler builds the route table.
+// Default accessors.
+func (s *Server) defaultChecker() string {
+	if s.DefaultChecker != "" {
+		return s.DefaultChecker
+	}
+	return "mtc"
+}
+
+func (s *Server) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return DefaultWorkers
+}
+
+func (s *Server) queueDepth() int {
+	if s.QueueDepth > 0 {
+		return s.QueueDepth
+	}
+	return DefaultQueueDepth
+}
+
+func (s *Server) jobTimeout() time.Duration {
+	if s.JobTimeout > 0 {
+		return s.JobTimeout
+	}
+	return DefaultJobTimeout
+}
+
+func (s *Server) maxBodyBytes() int64 {
+	if s.MaxBodyBytes > 0 {
+		return s.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+// Handler builds the route table behind the middleware chain.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /checkers", s.handleCheckers)
-	mux.HandleFunc("POST /check", s.handleCheck)
-	mux.HandleFunc("GET /fixtures", s.handleFixtures)
-	mux.HandleFunc("GET /fixtures/{name}", s.handleFixture)
-	mux.HandleFunc("POST /sessions", s.handleSessionOpen)
-	mux.HandleFunc("POST /sessions/{id}/txns", s.handleSessionTxns)
-	mux.HandleFunc("GET /sessions/{id}/verdict", s.handleSessionVerdict)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
-	return mux
+	}
+	mux.HandleFunc("GET /healthz", healthz)
+	mux.HandleFunc("GET /v1/healthz", healthz)
+
+	// v1: the supported surface.
+	mux.HandleFunc("GET /v1/checkers", s.handleCheckers)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("POST /v1/sessions/{id}/txns", s.handleSessionTxns)
+	mux.HandleFunc("GET /v1/sessions/{id}/verdict", s.handleSessionVerdict)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/fixtures", s.handleFixtures)
+	mux.HandleFunc("GET /v1/fixtures/{name}", s.handleFixtureV1)
+
+	// Pre-v1 aliases, kept for one deprecation cycle.
+	mux.HandleFunc("GET /checkers", deprecated("/v1/checkers", s.handleCheckers))
+	mux.HandleFunc("POST /check", deprecated("/v1/jobs", s.handleCheck))
+	mux.HandleFunc("GET /fixtures", deprecated("/v1/fixtures", s.handleFixtures))
+	mux.HandleFunc("GET /fixtures/{name}", deprecated("/v1/fixtures/{name}", s.handleFixture))
+	mux.HandleFunc("POST /sessions", deprecated("/v1/sessions", s.handleSessionOpen))
+	mux.HandleFunc("POST /sessions/{id}/txns", deprecated("/v1/sessions/{id}/txns", s.handleSessionTxns))
+	mux.HandleFunc("GET /sessions/{id}/verdict", deprecated("/v1/sessions/{id}/verdict", s.handleSessionVerdict))
+	mux.HandleFunc("DELETE /sessions/{id}", deprecated("/v1/sessions/{id}", s.handleSessionDelete))
+	return s.middleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -127,20 +236,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// httpError writes the legacy flat error body (deprecated routes).
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// parseLevel validates the level query parameter against the known level
-// names; empty means "checker default".
-func parseLevel(r *http.Request) (core.Level, bool) {
-	lvl := core.Level(strings.ToUpper(r.URL.Query().Get("level")))
-	switch lvl {
-	case "", core.SSER, core.SER, core.SI:
-		return lvl, true
-	default:
-		return "", false
+// v1Error writes the v1 structured error envelope.
+func (s *Server) v1Error(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{
+		Error:     api.Error{Code: code, Message: fmt.Sprintf(format, args...)},
+		RequestID: RequestIDFrom(r.Context()),
+	})
+}
+
+// parseLevelParam resolves the level query parameter through the
+// canonical checker.ParseLevel; empty means "checker default".
+func parseLevelParam(r *http.Request) (core.Level, error) {
+	raw := r.URL.Query().Get("level")
+	if raw == "" {
+		return "", nil
 	}
+	return checker.ParseLevel(raw)
 }
 
 func (s *Server) handleCheckers(w http.ResponseWriter, r *http.Request) {
@@ -155,45 +271,44 @@ func (s *Server) handleCheckers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleCheck is the deprecated synchronous whole-history check; its v1
+// successor is the job API.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	lvl, ok := parseLevel(r)
-	if !ok {
+	lvl, lvlErr := parseLevelParam(r)
+	if lvlErr != nil {
 		httpError(w, http.StatusBadRequest, "unknown level %q (want SSER, SER or SI)", r.URL.Query().Get("level"))
 		return
 	}
 	name := r.URL.Query().Get("checker")
 	if name == "" {
-		name = s.DefaultChecker
-	}
-	if name == "" {
-		name = "mtc"
+		name = s.defaultChecker()
 	}
 	if _, err := s.reg.Lookup(name); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	h, err := history.ReadJSON(http.MaxBytesReader(w, r.Body, 64<<20))
+	h, err := history.ReadJSON(r.Body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad history: %v", err)
 		return
 	}
-	v, err := s.reg.Run(name, h, checker.Options{Level: lvl})
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if v.Err != "" {
+	rep, err := s.reg.Run(r.Context(), name, h, checker.Options{Level: lvl})
+	switch {
+	case checker.IsUnsupported(err):
 		// The engine could not process this history (e.g. Porcupine on a
 		// history that is not LWT-shaped): the request was well-formed
 		// but unprocessable by the selected checker.
-		httpError(w, http.StatusUnprocessableEntity, "%s: %s", name, v.Err)
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, fromVerdict(v))
+	writeJSON(w, http.StatusOK, fromReport(rep))
 }
 
-// fromVerdict converts a checker verdict to the wire form.
-func fromVerdict(v checker.Verdict) Verdict {
+// fromReport converts a checker report to the legacy wire form.
+func fromReport(v checker.Report) Verdict {
 	out := Verdict{
 		Level: string(v.Level), Checker: v.Checker, OK: v.OK,
 		Txns: v.Txns, Edges: v.Edges, Detail: v.Detail,
@@ -207,17 +322,13 @@ func fromVerdict(v checker.Verdict) Verdict {
 	return out
 }
 
-// fromResult converts a core.Result to the wire form.
-func fromResult(r core.Result, checkerName string) Verdict {
-	v := Verdict{
-		Level: string(r.Level), Checker: checkerName, OK: r.OK,
+// reportFromResult converts a core.Result to a checker.Report for the
+// session endpoints.
+func reportFromResult(r core.Result, checkerName string) checker.Report {
+	v := checker.Report{
+		Level: r.Level, Checker: checkerName, OK: r.OK,
 		Txns: r.NumTxns, Edges: r.NumEdges,
-	}
-	for _, a := range r.Anomalies {
-		v.Anomalies = append(v.Anomalies, a.String())
-	}
-	for _, e := range r.Cycle {
-		v.Cycle = append(v.Cycle, e.String())
+		Anomalies: r.Anomalies, Cycle: r.Cycle,
 	}
 	if r.Divergence != nil {
 		v.Detail = r.Divergence.String()
@@ -236,66 +347,71 @@ func (s *Server) handleFixtures(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, names)
 }
 
+// handleFixture is the deprecated fixture check (legacy Verdict shape).
 func (s *Server) handleFixture(w http.ResponseWriter, r *http.Request) {
+	rep, status, err := s.fixtureReport(r)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fromReport(rep))
+}
+
+// handleFixtureV1 serves the fixture check with the structured Report.
+func (s *Server) handleFixtureV1(w http.ResponseWriter, r *http.Request) {
+	rep, status, err := s.fixtureReport(r)
+	if err != nil {
+		code := api.CodeBadRequest
+		if status == http.StatusNotFound {
+			code = api.CodeNotFound
+		}
+		s.v1Error(w, r, status, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// fixtureReport runs the MTC engine on a named fixture.
+func (s *Server) fixtureReport(r *http.Request) (checker.Report, int, error) {
 	name := r.PathValue("name")
 	f := history.FixtureByName(name)
 	if f == nil {
-		httpError(w, http.StatusNotFound, "unknown fixture %q", name)
-		return
+		return checker.Report{}, http.StatusNotFound, fmt.Errorf("unknown fixture %q", name)
 	}
-	lvl, ok := parseLevel(r)
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown level %q (want SSER, SER or SI)", r.URL.Query().Get("level"))
-		return
+	lvl, err := parseLevelParam(r)
+	if err != nil {
+		return checker.Report{}, http.StatusBadRequest, fmt.Errorf("unknown level %q (want SSER, SER or SI)", r.URL.Query().Get("level"))
 	}
 	if lvl == "" {
 		lvl = core.SI
 	}
-	writeJSON(w, http.StatusOK, fromResult(core.Check(f.H, lvl), "mtc"))
-}
-
-// sessionRequest is the body of POST /sessions.
-type sessionRequest struct {
-	Level string        `json:"level"`
-	Keys  []history.Key `json:"keys"`
-}
-
-// txnPayload is the wire form of one streamed transaction; committed is
-// a pointer so that omitting it is detectable rather than silently
-// meaning aborted.
-type txnPayload struct {
-	Sess      int          `json:"sess"`
-	Ops       []history.Op `json:"ops"`
-	Committed *bool        `json:"committed"`
-	Start     int64        `json:"start"`
-	Finish    int64        `json:"finish"`
-}
-
-// sessionStatus is the response of the session endpoints.
-type sessionStatus struct {
-	ID      string   `json:"id"`
-	Level   string   `json:"level"`
-	Txns    int      `json:"txns"`
-	Edges   int      `json:"edges"`
-	OK      bool     `json:"ok"`
-	Final   bool     `json:"final"`
-	Verdict *Verdict `json:"verdict,omitempty"`
+	rep, err := s.reg.Run(r.Context(), "mtc", f.H, checker.Options{Level: lvl})
+	if err != nil {
+		return checker.Report{}, http.StatusBadRequest, err
+	}
+	return rep, http.StatusOK, nil
 }
 
 func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
-	var req sessionRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad session request: %v", err)
+	var req api.SessionRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad session request: %v", err)
 		return
 	}
-	lvl := core.Level(strings.ToUpper(req.Level))
-	if lvl == "" {
-		lvl = core.SI
+	lvl := core.SI
+	if req.Level != "" {
+		parsed, err := checker.ParseLevel(req.Level)
+		if err != nil {
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeUnsupportedLevel, "%v", err)
+			return
+		}
+		lvl = parsed
 	}
 	switch lvl {
 	case core.SER, core.SI:
 	default:
-		httpError(w, http.StatusBadRequest, "streaming checker supports levels SER and SI, not %q", req.Level)
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeUnsupportedLevel,
+			"streaming checker supports levels SER and SI, not %q", req.Level)
 		return
 	}
 	sess := &session{lvl: lvl, inc: core.NewIncremental(lvl)}
@@ -309,7 +425,9 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if len(s.sessions) >= max {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "session limit reached (%d live); DELETE finished sessions to free slots", max)
+		w.Header().Set("Retry-After", strconv.Itoa(defaultRetryAfterS))
+		s.v1Error(w, r, http.StatusTooManyRequests, api.CodeSessionLimit,
+			"session limit reached (%d live); DELETE finished sessions to free slots", max)
 		return
 	}
 	s.nextID++
@@ -326,22 +444,22 @@ func (s *Server) lookupSession(id string) *session {
 }
 
 // status snapshots a session. Caller must NOT hold sess.mu.
-func (s *Server) status(id string, sess *session) sessionStatus {
+func (s *Server) status(id string, sess *session) api.SessionStatus {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	st := sessionStatus{
+	st := api.SessionStatus{
 		ID: id, Level: string(sess.lvl),
 		Txns: sess.inc.NumTxns(), Edges: sess.inc.NumEdges(),
 		OK: true, Final: sess.stopped,
 	}
 	if sess.final != nil {
 		st.OK = sess.final.OK
-		v := fromResult(*sess.final, "mtc-incremental")
-		st.Verdict = &v
+		v := reportFromResult(*sess.final, "mtc-incremental")
+		st.Report = &v
 	} else if vio := sess.inc.Violation(); vio != nil {
 		st.OK = false
-		v := fromResult(*vio, "mtc-incremental")
-		st.Verdict = &v
+		v := reportFromResult(*vio, "mtc-incremental")
+		st.Report = &v
 	}
 	return st
 }
@@ -350,25 +468,25 @@ func (s *Server) handleSessionTxns(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess := s.lookupSession(id)
 	if sess == nil {
-		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown session %q", id)
 		return
 	}
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	raw, err := io.ReadAll(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad txns payload: %v", err)
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad txns payload: %v", err)
 		return
 	}
 	// Accept a single txn object or an array of txns.
-	var payloads []txnPayload
+	var payloads []api.TxnPayload
 	if t := bytes.TrimLeft(raw, " \t\r\n"); len(t) > 0 && t[0] == '[' {
 		err = json.Unmarshal(raw, &payloads)
 	} else {
-		var one txnPayload
+		var one api.TxnPayload
 		err = json.Unmarshal(raw, &one)
-		payloads = []txnPayload{one}
+		payloads = []api.TxnPayload{one}
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad txns payload: %v", err)
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad txns payload: %v", err)
 		return
 	}
 	txns := make([]history.Txn, len(payloads))
@@ -377,7 +495,7 @@ func (s *Server) handleSessionTxns(w http.ResponseWriter, r *http.Request) {
 		// aborted — the checker would ignore its reads and could
 		// finalize a violating stream as clean.
 		if p.Committed == nil {
-			httpError(w, http.StatusBadRequest, "txn %d: missing required field \"committed\"", i)
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "txn %d: missing required field \"committed\"", i)
 			return
 		}
 		txns[i] = history.Txn{
@@ -388,7 +506,7 @@ func (s *Server) handleSessionTxns(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	if sess.stopped {
 		sess.mu.Unlock()
-		httpError(w, http.StatusConflict, "session %q is finalized", id)
+		s.v1Error(w, r, http.StatusConflict, api.CodeConflict, "session %q is finalized", id)
 		return
 	}
 	for i := range txns {
@@ -402,7 +520,7 @@ func (s *Server) handleSessionVerdict(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess := s.lookupSession(id)
 	if sess == nil {
-		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown session %q", id)
 		return
 	}
 	if final := r.URL.Query().Get("final"); final == "1" || strings.EqualFold(final, "true") {
@@ -424,7 +542,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown session %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"mtc/internal/api"
 	"mtc/internal/history"
 )
 
@@ -123,11 +124,11 @@ func TestStreamingSessionLifecycle(t *testing.T) {
 	ts := httptest.NewServer(Handler())
 	defer ts.Close()
 
-	resp, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SER", Keys: []history.Key{"x", "y"}})
+	resp, body := doJSON(t, "POST", ts.URL+"/sessions", api.SessionRequest{Level: "SER", Keys: []history.Key{"x", "y"}})
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("open: %d %s", resp.StatusCode, body)
 	}
-	var st sessionStatus
+	var st api.SessionStatus
 	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
 		t.Fatalf("open body: %s (%v)", body, err)
 	}
@@ -160,7 +161,7 @@ func TestStreamingSessionLifecycle(t *testing.T) {
 		t.Fatalf("verdict: %d", resp.StatusCode)
 	}
 	_ = json.Unmarshal(body, &st)
-	if !st.Final || !st.OK || st.Verdict == nil || !st.Verdict.OK {
+	if !st.Final || !st.OK || st.Report == nil || !st.Report.OK {
 		t.Fatalf("final verdict: %s", body)
 	}
 
@@ -186,8 +187,8 @@ func TestStreamingSessionCatchesViolation(t *testing.T) {
 	ts := httptest.NewServer(Handler())
 	defer ts.Close()
 
-	_, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SI", Keys: []history.Key{"x"}})
-	var st sessionStatus
+	_, body := doJSON(t, "POST", ts.URL+"/sessions", api.SessionRequest{Level: "SI", Keys: []history.Key{"x"}})
+	var st api.SessionStatus
 	_ = json.Unmarshal(body, &st)
 
 	txns := []history.Txn{
@@ -199,10 +200,10 @@ func TestStreamingSessionCatchesViolation(t *testing.T) {
 		t.Fatalf("feed: %d", resp.StatusCode)
 	}
 	_ = json.Unmarshal(body, &st)
-	if st.OK || st.Verdict == nil || st.Verdict.OK {
+	if st.OK || st.Report == nil || st.Report.OK {
 		t.Fatalf("lost update not caught: %s", body)
 	}
-	if !strings.Contains(st.Verdict.Detail, "DIVERGENCE") {
+	if !strings.Contains(st.Report.Detail, "DIVERGENCE") {
 		t.Fatalf("want divergence witness, got %s", body)
 	}
 }
@@ -212,12 +213,12 @@ func TestStreamingSessionErrors(t *testing.T) {
 	ts := httptest.NewServer(Handler())
 	defer ts.Close()
 
-	resp, raw := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SSER"})
+	resp, raw := doJSON(t, "POST", ts.URL+"/sessions", api.SessionRequest{Level: "SSER"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("SSER session must 400, got %d", resp.StatusCode)
 	}
-	var e apiError
-	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+	var e api.ErrorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
 		t.Fatalf("error body not structured: %q", raw)
 	}
 	resp, _ = doJSON(t, "POST", ts.URL+"/sessions", "{bogus")
@@ -233,8 +234,8 @@ func TestStreamingSessionErrors(t *testing.T) {
 		t.Fatalf("unknown session delete must 404, got %d", resp.StatusCode)
 	}
 
-	_, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "si"})
-	var st sessionStatus
+	_, body := doJSON(t, "POST", ts.URL+"/sessions", api.SessionRequest{Level: "si"})
+	var st api.SessionStatus
 	_ = json.Unmarshal(body, &st)
 	resp, _ = doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns", "{bogus")
 	if resp.StatusCode != http.StatusBadRequest {
@@ -260,17 +261,20 @@ func TestSessionLimit(t *testing.T) {
 	srv.MaxSessions = 2
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	open := func() (*http.Response, sessionStatus) {
-		resp, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SI"})
-		var st sessionStatus
+	open := func() (*http.Response, api.SessionStatus) {
+		resp, body := doJSON(t, "POST", ts.URL+"/sessions", api.SessionRequest{Level: "SI"})
+		var st api.SessionStatus
 		_ = json.Unmarshal(body, &st)
 		return resp, st
 	}
 	_, st1 := open()
 	open()
 	resp, _ := open()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("third session must 503, got %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third session must 429, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After header")
 	}
 	// Deleting a session frees a slot.
 	doJSON(t, "DELETE", ts.URL+"/sessions/"+st1.ID, nil)
@@ -284,16 +288,16 @@ func TestSessionLimit(t *testing.T) {
 func TestSessionTxnRequiresCommitted(t *testing.T) {
 	ts := httptest.NewServer(Handler())
 	defer ts.Close()
-	_, body := doJSON(t, "POST", ts.URL+"/sessions", sessionRequest{Level: "SI", Keys: []history.Key{"x"}})
-	var st sessionStatus
+	_, body := doJSON(t, "POST", ts.URL+"/sessions", api.SessionRequest{Level: "SI", Keys: []history.Key{"x"}})
+	var st api.SessionStatus
 	_ = json.Unmarshal(body, &st)
 	resp, raw := doJSON(t, "POST", ts.URL+"/sessions/"+st.ID+"/txns",
 		`[{"sess":0,"ops":[{"k":0,"key":"x","v":0},{"k":1,"key":"x","v":1}]}]`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing committed must 400, got %d (%s)", resp.StatusCode, raw)
 	}
-	var e apiError
-	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+	var e api.ErrorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
 		t.Fatalf("error body not structured: %q", raw)
 	}
 }

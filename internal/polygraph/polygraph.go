@@ -15,6 +15,7 @@
 package polygraph
 
 import (
+	"context"
 	"sort"
 
 	"mtc/internal/history"
@@ -227,7 +228,19 @@ const (
 // the exact condition Definition 6 forbids. Both modes are sound; cycles
 // requiring three or more undecided options are left to the solver.
 func (p *Polygraph) Prune(mode PruneMode) bool {
+	ok, _ := p.PruneCtx(context.Background(), mode)
+	return ok
+}
+
+// PruneCtx is Prune under a context: the fixpoint polls ctx at every
+// iteration and every batch of constraints, so a deadline stops the
+// closure recomputation loop on large polygraphs. On cancellation it
+// returns the context's error; the first result is then meaningless.
+func (p *Polygraph) PruneCtx(ctx context.Context, mode PruneMode) (bool, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		var (
 			reach   [][]uint64
 			acyclic bool
@@ -240,7 +253,7 @@ func (p *Polygraph) Prune(mode PruneMode) bool {
 			reach, acyclic = closure(p.N, si.composed)
 		}
 		if !acyclic {
-			return false
+			return false, nil
 		}
 		bad := func(edges []sat.Edge) bool {
 			if mode == PruneSER {
@@ -250,12 +263,17 @@ func (p *Polygraph) Prune(mode PruneMode) bool {
 		}
 		var remaining []sat.Constraint
 		changed := false
-		for _, c := range p.Cons {
+		for i, c := range p.Cons {
+			if i&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return false, err
+				}
+			}
 			aBad := bad(c.A)
 			bBad := bad(c.B)
 			switch {
 			case aBad && bBad:
-				return false
+				return false, nil
 			case aBad:
 				p.Known = append(p.Known, c.B...)
 				p.Forced++
@@ -270,7 +288,7 @@ func (p *Polygraph) Prune(mode PruneMode) bool {
 		}
 		p.Cons = remaining
 		if !changed {
-			return true
+			return true, nil
 		}
 	}
 }

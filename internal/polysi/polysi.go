@@ -8,6 +8,9 @@
 package polysi
 
 import (
+	"context"
+	"time"
+
 	"mtc/internal/history"
 	"mtc/internal/polygraph"
 	"mtc/internal/sat"
@@ -23,22 +26,46 @@ type Report struct {
 	Forced      int
 	Residual    int
 	Solver      sat.Result
+	// Per-phase wall-clock durations of the pipeline stages.
+	BuildTime, PruneTime, SolveTime time.Duration
 }
 
 // CheckSI verifies snapshot isolation of a general (or MT) history.
 func CheckSI(h *history.History) Report {
+	rep, _ := CheckSICtx(context.Background(), h)
+	return rep
+}
+
+// CheckSICtx is CheckSI under a context: both the pruning fixpoint and
+// the SAT search poll ctx, so a deadline stops the run promptly. The
+// Report is only meaningful when the returned error is nil.
+func CheckSICtx(ctx context.Context, h *history.History) (Report, error) {
 	if as := history.CheckInternal(h); len(as) > 0 {
-		return Report{OK: false, Anomalies: as}
+		return Report{OK: false, Anomalies: as}, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	start := time.Now()
 	p := polygraph.Build(h)
-	rep := Report{Constraints: len(p.Cons)}
-	if !p.Prune(polygraph.PruneSI) {
-		rep.Forced = p.Forced
-		return rep
+	rep := Report{Constraints: len(p.Cons), BuildTime: time.Since(start)}
+	start = time.Now()
+	ok, err := p.PruneCtx(ctx, polygraph.PruneSI)
+	rep.PruneTime = time.Since(start)
+	if err != nil {
+		return rep, err
 	}
 	rep.Forced = p.Forced
+	if !ok {
+		return rep, nil
+	}
 	rep.Residual = len(p.Cons)
-	rep.Solver = sat.SolveSI(p.N, p.Known, p.Cons)
+	start = time.Now()
+	rep.Solver, err = sat.SolveSICtx(ctx, p.N, p.Known, p.Cons)
+	rep.SolveTime = time.Since(start)
+	if err != nil {
+		return rep, err
+	}
 	rep.OK = rep.Solver.Sat
-	return rep
+	return rep, nil
 }

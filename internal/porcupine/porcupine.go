@@ -11,6 +11,7 @@
 package porcupine
 
 import (
+	"context"
 	"hash/fnv"
 	"sort"
 
@@ -46,16 +47,28 @@ func step(st state, op core.LWT) (state, bool) {
 // Check reports whether the lightweight-transaction history is
 // linearizable, checking each object's sub-history independently.
 func Check(ops []core.LWT) bool {
+	ok, _ := CheckCtx(context.Background(), ops)
+	return ok
+}
+
+// CheckCtx is Check under a context: the WGL search polls ctx every few
+// thousand steps, so a deadline bounds even its worst-case exponential
+// backtracking. The verdict is only meaningful when the error is nil.
+func CheckCtx(ctx context.Context, ops []core.LWT) (bool, error) {
 	byKey := map[history.Key][]core.LWT{}
 	for _, o := range ops {
 		byKey[o.Key] = append(byKey[o.Key], o)
 	}
 	for _, sub := range byKey {
-		if !checkKey(sub) {
-			return false
+		ok, err := checkKey(ctx, sub)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // entry is a call or return event in the WGL entry list.
@@ -117,10 +130,10 @@ type cacheEntry struct {
 }
 
 // checkKey runs the WGL search on a single object's operations.
-func checkKey(ops []core.LWT) bool {
+func checkKey(ctx context.Context, ops []core.LWT) (bool, error) {
 	n := len(ops)
 	if n == 0 {
-		return true
+		return true, nil
 	}
 	// Build the event list: 2n entries sorted by time; returns before
 	// calls at equal timestamps (an operation that finishes exactly when
@@ -199,11 +212,17 @@ func checkKey(ops []core.LWT) bool {
 	}
 
 	e := head.next
+	steps := 0
 	for remaining > 0 {
+		if steps++; steps&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		if e == nil {
 			// Reached the end without linearizing everything: backtrack.
 			if len(stack) == 0 {
-				return false
+				return false, nil
 			}
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -234,7 +253,7 @@ func checkKey(ops []core.LWT) bool {
 		// A return entry: every operation that returned must already be
 		// linearized on this path; otherwise backtrack.
 		if len(stack) == 0 {
-			return false
+			return false, nil
 		}
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -244,5 +263,5 @@ func checkKey(ops []core.LWT) bool {
 		unlift(f.op)
 		e = callEnt[f.op].next
 	}
-	return true
+	return true, nil
 }

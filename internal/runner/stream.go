@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,9 @@ type StreamResult struct {
 	// EarlyAborted reports that the violation stopped the sessions
 	// before the workload plan was exhausted.
 	EarlyAborted bool
+	// Err is the context's error when the run was cut short by
+	// cancellation; the verdict then covers only the executed prefix.
+	Err error
 }
 
 // streamMsg carries one executed transaction attempt from a session
@@ -43,8 +47,10 @@ type streamMsg struct {
 // transaction commits — Cobra-style continuous verification — and, when
 // a violation is found, the sessions are signalled to stop, so a buggy
 // store is caught without paying for the rest of the run. lvl must be
-// SER or SI (the online checker's levels).
-func RunStream(s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level) *StreamResult {
+// SER or SI (the online checker's levels). Cancelling ctx stops the
+// sessions at the next transaction boundary; the result then carries the
+// context's error and the verdict over the executed prefix.
+func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level) *StreamResult {
 	s.Init(w.Keys)
 	ch := make(chan streamMsg, 256)
 	var stop atomic.Bool
@@ -85,6 +91,12 @@ func RunStream(s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level) *S
 	}
 	close(start)
 	for msg := range ch {
+		if res.Err == nil {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				stop.Store(true)
+			}
+		}
 		r := msg.rec
 		res.Attempts++
 		if r.committed {

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"testing"
 
 	"mtc/internal/core"
@@ -21,7 +22,7 @@ func TestRunStreamCleanMatchesBatch(t *testing.T) {
 		w := workload.GenerateMT(workload.MTConfig{
 			Sessions: 6, Txns: 50, Objects: 8, Dist: workload.Uniform, Seed: 7, ReadOnlyFrac: 0.25,
 		})
-		res := RunStream(kv.NewStore(mode), w, Config{Retries: 6}, lvl)
+		res := RunStream(context.Background(), kv.NewStore(mode), w, Config{Retries: 6}, lvl)
 		if !res.Verdict.OK {
 			t.Fatalf("%s: clean store rejected online: %s", lvl, res.Verdict.Explain())
 		}
@@ -47,7 +48,7 @@ func TestRunStreamSurfacesViolationMidRun(t *testing.T) {
 		w := workload.GenerateMT(workload.MTConfig{
 			Sessions: 8, Txns: 400, Objects: 2, Dist: workload.Uniform, Seed: seed, ReadOnlyFrac: 0.1,
 		})
-		res := RunStream(bug.NewStore(seed), w, Config{Retries: 4}, core.SI)
+		res := RunStream(context.Background(), bug.NewStore(seed), w, Config{Retries: 4}, core.SI)
 		if res.Verdict.OK {
 			continue // bug did not manifest under this seed; try the next
 		}
@@ -78,7 +79,7 @@ func TestRunStreamKeepsAbortedRecords(t *testing.T) {
 	w := workload.GenerateMT(workload.MTConfig{
 		Sessions: 8, Txns: 60, Objects: 2, Dist: workload.Uniform, Seed: 3, ReadOnlyFrac: 0,
 	})
-	res := RunStream(kv.NewStore(kv.ModeSerializable), w, Config{Retries: 2}, core.SER)
+	res := RunStream(context.Background(), kv.NewStore(kv.ModeSerializable), w, Config{Retries: 2}, core.SER)
 	if res.Aborted == 0 {
 		t.Skip("no aborts under this seed")
 	}
@@ -90,5 +91,26 @@ func TestRunStreamKeepsAbortedRecords(t *testing.T) {
 	}
 	if aborted != res.Aborted {
 		t.Fatalf("history records %d aborted, runner counted %d", aborted, res.Aborted)
+	}
+}
+
+// TestRunStreamHonorsCancellation cancels the stream context mid-run and
+// asserts the sessions stop early with the context error recorded.
+func TestRunStreamHonorsCancellation(t *testing.T) {
+	w := workload.GenerateMT(workload.MTConfig{
+		Sessions: 8, Txns: 400, Objects: 8, Dist: workload.Uniform, Seed: 11,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunStream(ctx, kv.NewStore(kv.ModeSI), w, Config{Retries: 2}, core.SI)
+	if res.Err == nil {
+		t.Fatal("canceled run must record the context error")
+	}
+	planned := 0
+	for _, specs := range w.Sessions {
+		planned += len(specs)
+	}
+	if res.Committed >= planned {
+		t.Fatalf("canceled run executed the whole plan (%d/%d)", res.Committed, planned)
 	}
 }

@@ -14,7 +14,10 @@
 // only when no orientation of the constraints satisfies the theory.
 package sat
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Kind labels an edge for the SI composition theory; the plain acyclicity
 // theory ignores it.
@@ -69,6 +72,27 @@ type solver struct {
 	assign  []int8 // +1 true, -1 false, 0 unassigned
 	learned [][]lit
 	res     Result
+	ctx     context.Context
+	err     error // ctx cancellation, checked every ctxCheckMask decisions
+}
+
+// ctxCheckMask sets the cancellation polling period: the context is
+// consulted once every 64 decisions, so a deadline stops an exponential
+// search within a bounded number of theory checks.
+const ctxCheckMask = 63
+
+// canceled polls the context; once it fires, every dfs frame unwinds.
+func (s *solver) canceled() bool {
+	if s.err != nil {
+		return true
+	}
+	if s.res.Decisions&ctxCheckMask == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return true
+		}
+	}
+	return false
 }
 
 // lit is one entry of a learned nogood: variable v took value val.
@@ -80,6 +104,15 @@ type lit struct {
 // Solve searches for an orientation of cons whose activated edges, unioned
 // with known, satisfy the theory built by mk. n is the node count.
 func Solve(n int, known []Edge, cons []Constraint, mk func(n int) Theory) Result {
+	res, _ := SolveCtx(context.Background(), n, known, cons, mk)
+	return res
+}
+
+// SolveCtx is Solve under a context: the search polls ctx every few
+// decisions and unwinds with the context's error when it fires, so a
+// deadline bounds even an exponential search. The partial Result carries
+// the statistics accumulated up to the cancellation point.
+func SolveCtx(ctx context.Context, n int, known []Edge, cons []Constraint, mk func(n int) Theory) (Result, error) {
 	checkRange(n, known)
 	for _, c := range cons {
 		checkRange(n, c.A)
@@ -89,12 +122,19 @@ func Solve(n int, known []Edge, cons []Constraint, mk func(n int) Theory) Result
 		cons:   cons,
 		th:     mk(n),
 		assign: make([]int8, len(cons)),
+		ctx:    ctx,
+	}
+	if err := ctx.Err(); err != nil {
+		return s.res, err
 	}
 	s.th.Push(0, known)
 	if _, ok := s.th.Check(); !ok {
-		return s.res // known edges alone violate the theory
+		return s.res, nil // known edges alone violate the theory
 	}
 	solved, _ := s.dfs(0)
+	if s.err != nil {
+		return s.res, s.err
+	}
 	if solved {
 		s.res.Sat = true
 		s.res.Choices = make([]bool, len(cons))
@@ -102,7 +142,7 @@ func Solve(n int, known []Edge, cons []Constraint, mk func(n int) Theory) Result
 			s.res.Choices[i] = a > 0
 		}
 	}
-	return s.res
+	return s.res, nil
 }
 
 // dfs assigns constraint `v` (at decision level v+1) and recurses. On
@@ -113,6 +153,9 @@ func Solve(n int, known []Edge, cons []Constraint, mk func(n int) Theory) Result
 func (s *solver) dfs(v int) (bool, []int) {
 	if v == len(s.cons) {
 		return true, nil
+	}
+	if s.canceled() {
+		return false, nil
 	}
 	level := v + 1
 	var union []int
@@ -248,13 +291,25 @@ func removeLevel(ls []int, l int) []int {
 // SolveAcyclic solves with the plain acyclicity theory (the Cobra /
 // serializability condition).
 func SolveAcyclic(n int, known []Edge, cons []Constraint) Result {
-	return Solve(n, known, cons, func(n int) Theory { return newAcyclicTheory(n) })
+	res, _ := SolveAcyclicCtx(context.Background(), n, known, cons)
+	return res
+}
+
+// SolveAcyclicCtx is SolveAcyclic under a context deadline.
+func SolveAcyclicCtx(ctx context.Context, n int, known []Edge, cons []Constraint) (Result, error) {
+	return SolveCtx(ctx, n, known, cons, func(n int) Theory { return newAcyclicTheory(n) })
 }
 
 // SolveSI solves with the snapshot-isolation composition theory: the graph
 // (base ; rw?) over the active edges must be acyclic.
 func SolveSI(n int, known []Edge, cons []Constraint) Result {
-	return Solve(n, known, cons, func(n int) Theory { return newSITheory(n) })
+	res, _ := SolveSICtx(context.Background(), n, known, cons)
+	return res
+}
+
+// SolveSICtx is SolveSI under a context deadline.
+func SolveSICtx(ctx context.Context, n int, known []Edge, cons []Constraint) (Result, error) {
+	return SolveCtx(ctx, n, known, cons, func(n int) Theory { return newSITheory(n) })
 }
 
 func checkRange(n int, es []Edge) {

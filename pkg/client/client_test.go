@@ -1,0 +1,196 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mtc/internal/history"
+	"mtc/internal/mtcserve"
+	"mtc/pkg/client"
+	"mtc/pkg/mtc"
+)
+
+// newServer spins up the real v1 handler for the SDK to talk to.
+func newServer(t *testing.T) (*httptest.Server, *client.Client) {
+	t.Helper()
+	ts := httptest.NewServer(mtcserve.Handler())
+	t.Cleanup(ts.Close)
+	return ts, client.New(ts.URL)
+}
+
+// TestJobRoundTrip is the acceptance path: submit a job through the SDK,
+// poll to the verdict, and read the structured report.
+func TestJobRoundTrip(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	infos, err := c.Checkers(ctx)
+	if err != nil || len(infos) != 6 {
+		t.Fatalf("checkers: %v %v", infos, err)
+	}
+
+	job, err := c.SubmitJob(ctx, client.JobRequest{Level: "SER", History: history.SerialHistory(25, "x", "y")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.State != client.JobQueued && job.State != client.JobRunning && job.State != client.JobDone {
+		t.Fatalf("submitted state: %+v", job)
+	}
+	job, err = c.WaitJob(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if job.State != client.JobDone || job.Report == nil || !job.Report.OK || job.Report.Checker != "mtc" {
+		t.Fatalf("verdict: %+v", job)
+	}
+
+	// The violating fixture round-trips its structured counterexample.
+	rep, err := c.Check(ctx, client.JobRequest{Level: "SER", History: history.FixtureByName("WriteSkew").H})
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if rep.OK || len(rep.Cycle) == 0 {
+		t.Fatalf("write-skew report: %+v", rep)
+	}
+}
+
+// TestStreamEvents follows the NDJSON stream through the SDK.
+func TestStreamEvents(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	job, err := c.SubmitJob(ctx, client.JobRequest{Level: "SI", History: history.SerialHistory(10, "x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []string
+	err = c.StreamEvents(ctx, job.ID, func(ev client.JobEvent) error {
+		states = append(states, ev.State)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream: %v (states %v)", err, states)
+	}
+	if len(states) == 0 || states[0] != client.JobQueued || states[len(states)-1] != client.JobDone {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+// TestCancelJob cancels a long SAT-backed job through the SDK and
+// asserts the server forgets it.
+func TestCancelJob(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	slow := history.BlindWriteHistory(4, 150)
+	job, err := c.SubmitJob(ctx, client.JobRequest{Checker: "cobra", Level: "SER", TimeoutMillis: 60000, History: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CancelJob(ctx, job.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	var apiErr *client.APIError
+	if _, err := c.GetJob(ctx, job.ID); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("canceled job must 404, got %v", err)
+	}
+}
+
+// TestAPIErrorSurface decodes the v1 envelope into a typed error.
+func TestAPIErrorSurface(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+	_, err := c.SubmitJob(ctx, client.JobRequest{Checker: "bogus", History: history.SerialHistory(2)})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.StatusCode != 400 || apiErr.Code != "unknown_checker" || !strings.Contains(apiErr.Message, "bogus") {
+		t.Fatalf("error surface: %+v", apiErr)
+	}
+	if apiErr.RequestID == "" {
+		t.Fatal("request id must round-trip into the error")
+	}
+}
+
+// TestSessionLifecycle drives the streaming API through the SDK: open,
+// feed a violating pair, observe the flip, finalize, close.
+func TestSessionLifecycle(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sess, st, err := c.OpenSession(ctx, "SI", "x")
+	if err != nil || st.Txns != 1 {
+		t.Fatalf("open: %+v %v", st, err)
+	}
+	st, err = sess.Send(ctx,
+		client.Txn(0, mtc.Read("x", 0), mtc.Write("x", 1)),
+		client.Txn(1, mtc.Read("x", 0), mtc.Write("x", 2)), // lost update
+	)
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if st.OK || st.Report == nil || !strings.Contains(st.Report.Detail, "DIVERGENCE") {
+		t.Fatalf("lost update not caught: %+v", st)
+	}
+	st, err = sess.Verdict(ctx, true)
+	if err != nil || !st.Final {
+		t.Fatalf("finalize: %+v %v", st, err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestRetryOn429 exercises the SDK's Retry-After handling: with a
+// one-worker, one-deep server, a burst of submissions eventually drains
+// because the client retries 429s instead of failing.
+func TestRetryOn429(t *testing.T) {
+	srv := mtcserve.NewServer(nil)
+	srv.Workers = 1
+	srv.QueueDepth = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithRetries(5))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	h := history.SerialHistory(10, "x")
+	for i := 0; i < 6; i++ {
+		if _, err := c.SubmitJob(ctx, client.JobRequest{Level: "SI", History: h}); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	// And with retry disabled the 429 surfaces as a typed error — fill
+	// the pool with slow jobs first.
+	noRetry := client.New(ts.URL, client.WithRetries(0))
+	slow := history.BlindWriteHistory(4, 150)
+	var sawBusy bool
+	var ids []string
+	for i := 0; i < 8; i++ {
+		job, err := noRetry.SubmitJob(ctx, client.JobRequest{Checker: "cobra", Level: "SER", TimeoutMillis: 30000, History: slow})
+		if err != nil {
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != 429 {
+				t.Fatalf("want 429 APIError, got %v", err)
+			}
+			sawBusy = true
+			break
+		}
+		ids = append(ids, job.ID)
+	}
+	for _, id := range ids {
+		_ = noRetry.CancelJob(ctx, id)
+	}
+	if !sawBusy {
+		t.Fatal("never saw the queue fill")
+	}
+}

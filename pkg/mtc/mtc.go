@@ -1,0 +1,116 @@
+// Package mtc is the stable public surface of the MTC isolation-checking
+// toolkit. It re-exports the history model, the checker registry and the
+// Report verdict type from the internal packages, so external programs
+// can build histories, run any registered verification engine with
+// context cancellation, and consume structured counterexamples — without
+// importing internal paths (which the Go toolchain forbids outside this
+// module).
+//
+// A minimal embedding:
+//
+//	b := mtc.NewHistoryBuilder("x")
+//	b.Txn(0, mtc.Read("x", 0), mtc.Write("x", 1))
+//	rep, err := mtc.Check(ctx, "mtc", b.Build(), mtc.Options{Level: mtc.SER})
+//
+// For the HTTP service, see pkg/client.
+package mtc
+
+import (
+	"context"
+	"io"
+
+	"mtc/internal/checker"
+	"mtc/internal/core"
+	"mtc/internal/graph"
+	"mtc/internal/history"
+)
+
+// Core history model.
+type (
+	// History is a transactional history: transactions grouped into
+	// sessions, each a sequence of read/write operations.
+	History = history.History
+	// Txn is one transaction of a history.
+	Txn = history.Txn
+	// Op is one read or write operation.
+	Op = history.Op
+	// Key names an object; Value is the (unique) value written to it.
+	Key   = history.Key
+	Value = history.Value
+	// HistoryBuilder assembles histories programmatically.
+	HistoryBuilder = history.Builder
+	// Anomaly is one structured pre-check violation in a Report.
+	Anomaly = history.Anomaly
+	// CycleEdge is one typed dependency edge of a counterexample cycle.
+	CycleEdge = graph.Edge
+)
+
+// Checker abstraction.
+type (
+	// Level names an isolation level (SSER, SER or SI).
+	Level = checker.Level
+	// Options tunes a checker run.
+	Options = checker.Options
+	// Report is the normalised, JSON-serializable verdict of a run.
+	Report = checker.Report
+	// PhaseTiming is the wall-clock cost of one engine phase.
+	PhaseTiming = checker.PhaseTiming
+	// Checker is one verification engine.
+	Checker = checker.Checker
+	// Registry maps checker names to engines.
+	Registry = checker.Registry
+	// UnsupportedHistoryError marks a history an engine cannot process.
+	UnsupportedHistoryError = checker.UnsupportedHistoryError
+)
+
+// The supported isolation levels.
+const (
+	SSER = core.SSER // strict serializability
+	SER  = core.SER  // serializability
+	SI   = core.SI   // snapshot isolation
+)
+
+// ParseLevel maps a level name (any case) to its Level.
+func ParseLevel(s string) (Level, error) { return checker.ParseLevel(s) }
+
+// Check runs the named engine from the default registry on h under ctx.
+// Cancellation stops the engine inside its hot loops; the returned error
+// is then ctx's error. Use IsUnsupported to detect histories the engine
+// cannot process.
+func Check(ctx context.Context, name string, h *History, opts Options) (Report, error) {
+	return checker.Run(ctx, name, h, opts)
+}
+
+// IsUnsupported reports whether err marks a history the engine cannot
+// process (as opposed to a verification failure or a context error).
+func IsUnsupported(err error) bool { return checker.IsUnsupported(err) }
+
+// Checkers lists the names of the registered engines.
+func Checkers() []string { return checker.Names() }
+
+// LookupChecker resolves a registered engine by name.
+func LookupChecker(name string) (Checker, error) { return checker.Lookup(name) }
+
+// NewHistoryBuilder returns a builder whose initial transaction writes
+// value 0 to each of the given keys.
+func NewHistoryBuilder(initKeys ...Key) *HistoryBuilder {
+	return history.NewBuilder(initKeys...)
+}
+
+// Read builds a read operation observing value v of key k.
+func Read(k Key, v Value) Op { return history.R(k, v) }
+
+// Write builds a write operation setting key k to value v.
+func Write(k Key, v Value) Op { return history.W(k, v) }
+
+// ReadHistory parses the standard JSON encoding and validates it.
+func ReadHistory(r io.Reader) (*History, error) { return history.ReadJSON(r) }
+
+// WriteHistory serializes a history in the standard JSON encoding.
+func WriteHistory(w io.Writer, h *History) error { return history.WriteJSON(w, h) }
+
+// LoadHistory reads a JSON history from a file.
+func LoadHistory(path string) (*History, error) { return history.LoadFile(path) }
+
+// SaveHistory writes a history to a file as JSON.
+func SaveHistory(path string, h *History) error { return history.SaveFile(path, h) }
