@@ -11,6 +11,9 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -327,6 +330,92 @@ func BenchmarkAblationNoUniqueValuesBrute(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		npc.SerializableBrute(h)
+	}
+}
+
+// --- Parallel reachability engine ------------------------------------------------
+
+// pruneHist is a deterministic >= 5000-txn general-transaction history
+// whose polygraph carries on the order of 10^5 undetermined writer-pair
+// constraints: the workload Cobra's pruning stage is built for.
+var (
+	pruneOnce sync.Once
+	pruneHist *history.History
+)
+
+func pruneSetup() *history.History {
+	pruneOnce.Do(func() {
+		rng := rand.New(rand.NewSource(17))
+		// Many short sessions keep the dependency DAG shallow (depth ~
+		// txnsPer), so the closure's topological levels are wide enough to
+		// shard; total txns stay >= 5000.
+		const sessions, txnsPer, keys = 50, 104, 40
+		names := make([]history.Key, keys)
+		for i := range names {
+			names[i] = history.Key(fmt.Sprintf("k%02d", i))
+		}
+		b := history.NewBuilder(names...)
+		latest := map[history.Key]history.Value{}
+		next := history.Value(1)
+		for s := 0; s < sessions; s++ {
+			for i := 0; i < txnsPer; i++ {
+				k := names[rng.Intn(keys)]
+				if rng.Intn(10) < 6 { // blind write: an undetermined writer
+					b.Txn(s, history.W(k, next))
+					latest[k] = next
+					next++
+				} else { // read the latest value: readers fatten the
+					// anti-dependency lists each orientation activates
+					b.Txn(s, history.R(k, latest[k]))
+				}
+			}
+		}
+		pruneHist = b.Build()
+	})
+	return pruneHist
+}
+
+// BenchmarkPrune measures the Cobra pruning fixpoint — reachability
+// closure plus constraint checking — serial against the sharded worker
+// pool. The verdict and forced count are identical at every parallelism
+// (differentially tested); only wall-clock changes.
+func BenchmarkPrune(b *testing.B) {
+	h := pruneSetup()
+	base := polygraph.Build(h)
+	if len(base.Cons) < 10_000 {
+		b.Fatalf("workload too easy: %d constraints", len(base.Cons))
+	}
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.ReportMetric(float64(len(base.Cons)), "constraints")
+			for i := 0; i < b.N; i++ {
+				p := &polygraph.Polygraph{
+					N:     base.N,
+					Known: append([]sat.Edge(nil), base.Known...),
+					Cons:  append([]sat.Constraint(nil), base.Cons...),
+				}
+				if _, err := p.PrunePar(context.Background(), polygraph.PruneSER, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDenseRT measures the paper's Θ(n²) real-time enumeration
+// (CheckSSER's dominant cost) serial against the source-sharded pool.
+func BenchmarkDenseRT(b *testing.B) {
+	setup()
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.CheckSSERCtx(context.Background(), timedHist,
+					core.Options{SkipPreCheck: true, Parallelism: par})
+				if err != nil || !r.OK {
+					b.Fatalf("valid history rejected: %v", err)
+				}
+			}
+		})
 	}
 }
 

@@ -32,6 +32,7 @@ func main() {
 		checkerName  = flag.String("checker", "", "verification engine (empty = server default)")
 		level        = flag.String("level", "", "isolation level: SSER, SER or SI (empty = checker default)")
 		timeout      = flag.Duration("timeout", 0, "per-job execution timeout sent to the server (0 = server default)")
+		parallelism  = flag.Int("parallelism", 0, "engine parallelism requested for the job (0 = server default; clamped server-side)")
 		wait         = flag.Duration("wait", 2*time.Minute, "how long to wait for the verdict")
 		events       = flag.Bool("events", false, "follow the job's NDJSON event stream instead of polling")
 		listCheckers = flag.Bool("checkers", false, "list the server's registered checkers and exit")
@@ -67,7 +68,8 @@ func main() {
 	}
 	req := client.JobRequest{
 		Checker: *checkerName, Level: *level,
-		TimeoutMillis: timeout.Milliseconds(), History: h,
+		TimeoutMillis: timeout.Milliseconds(), Parallelism: *parallelism,
+		History: h,
 	}
 
 	job, err := c.SubmitJob(ctx, req)

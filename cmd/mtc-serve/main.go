@@ -43,6 +43,7 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", mtcserve.DefaultMaxJobs, "retained job cap (oldest finished jobs are forgotten)")
 		maxSessions = flag.Int("max-sessions", mtcserve.DefaultMaxSessions, "cap on live streaming sessions")
 		maxBody     = flag.Int64("max-body", mtcserve.DefaultMaxBodyBytes, "request body size limit in bytes")
+		parallelism = flag.Int("parallelism", 0, "default engine parallelism for jobs that do not set one (0 = GOMAXPROCS; requests are clamped to GOMAXPROCS)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -59,6 +60,7 @@ func main() {
 	srv.MaxJobs = *maxJobs
 	srv.MaxSessions = *maxSessions
 	srv.MaxBodyBytes = *maxBody
+	srv.DefaultParallelism = *parallelism
 	srv.Logger = logger
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -49,6 +49,7 @@ func main() {
 		lwt          = flag.Bool("lwt", false, "use lightweight transactions (CAS) and the linear-time SSER checker")
 		out          = flag.String("out", "", "save the generated history to this JSON file")
 		timeout      = flag.Duration("timeout", 0, "abort verification after this duration (0 = no limit)")
+		parallelism  = flag.Int("parallelism", 0, "worker pool size for the parallel engine phases (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -112,7 +113,7 @@ func main() {
 
 	ctx, cancel := verifyContext(*timeout)
 	defer cancel()
-	v, err := checker.Run(ctx, *checkerName, res.H, checker.Options{Level: claimed})
+	v, err := checker.Run(ctx, *checkerName, res.H, checker.Options{Level: claimed, Parallelism: *parallelism})
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -62,6 +62,11 @@ type JobRequest struct {
 	// SkipPreCheck and SparseRT forward checker.Options.
 	SkipPreCheck bool `json:"skip_precheck,omitempty"`
 	SparseRT     bool `json:"sparse_rt,omitempty"`
+	// Parallelism bounds the worker pools of the engine's parallel phases
+	// (checker.Options.Parallelism). 0 uses the server default; values are
+	// clamped to the server's GOMAXPROCS, so a request cannot oversubscribe
+	// the host. Negative values are rejected.
+	Parallelism int `json:"parallelism,omitempty"`
 	// History is the history to verify, in the standard JSON encoding.
 	History *history.History `json:"history"`
 }

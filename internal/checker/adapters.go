@@ -49,7 +49,7 @@ func (mtcChecker) Name() string    { return "mtc" }
 func (mtcChecker) Levels() []Level { return []Level{core.SI, core.SER, core.SSER} }
 
 func (mtcChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
-	copts := core.Options{SkipPreCheck: opts.SkipPreCheck, SparseRT: opts.SparseRT}
+	copts := core.Options{SkipPreCheck: opts.SkipPreCheck, SparseRT: opts.SparseRT, Parallelism: opts.Parallelism}
 	start := time.Now()
 	r, err := core.CheckCtx(ctx, h, opts.Level, copts)
 	if err != nil {
@@ -85,7 +85,7 @@ func (cobraChecker) Name() string    { return "cobra" }
 func (cobraChecker) Levels() []Level { return []Level{core.SER} }
 
 func (cobraChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
-	rep, err := cobra.CheckSERCtx(ctx, h)
+	rep, err := cobra.CheckSERPar(ctx, h, opts.Parallelism)
 	if err != nil {
 		return Report{}, err
 	}
@@ -108,7 +108,7 @@ func (polysiChecker) Name() string    { return "polysi" }
 func (polysiChecker) Levels() []Level { return []Level{core.SI} }
 
 func (polysiChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
-	rep, err := polysi.CheckSICtx(ctx, h)
+	rep, err := polysi.CheckSIPar(ctx, h, opts.Parallelism)
 	if err != nil {
 		return Report{}, err
 	}

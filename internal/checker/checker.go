@@ -59,6 +59,14 @@ type Options struct {
 	// SparseRT selects the O(n log n) sparse real-time encoding for SSER
 	// on the MTC engine.
 	SparseRT bool
+	// Parallelism bounds the worker pools of the parallel engine phases:
+	// the polygraph prune shards and reachability closure of the Cobra
+	// and PolySI baselines, and the MTC engine's dense real-time
+	// enumeration. <= 0 selects GOMAXPROCS; 1 forces the serial paths.
+	// Verdicts, anomalies and edge counts are identical at every setting
+	// (differentially tested); only wall-clock changes. Engines without a
+	// parallel phase (incremental, elle, porcupine) ignore it.
+	Parallelism int
 }
 
 // PhaseTiming is the wall-clock cost of one engine phase, in

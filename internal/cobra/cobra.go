@@ -39,8 +39,17 @@ func CheckSER(h *history.History) Report {
 
 // CheckSERCtx is CheckSER under a context: both the pruning fixpoint and
 // the SAT search poll ctx, so a deadline stops the run promptly. The
-// Report is only meaningful when the returned error is nil.
+// Report is only meaningful when the returned error is nil. Pruning runs
+// serially; CheckSERPar parallelizes it.
 func CheckSERCtx(ctx context.Context, h *history.History) (Report, error) {
+	return CheckSERPar(ctx, h, 1)
+}
+
+// CheckSERPar is CheckSERCtx with the pruning stage — reachability
+// closure and constraint checking, the pipeline's dominant cost — sharded
+// over a bounded worker pool. par <= 0 selects GOMAXPROCS. The verdict
+// and all statistics except wall-clock are identical at every par.
+func CheckSERPar(ctx context.Context, h *history.History, par int) (Report, error) {
 	if as := history.CheckInternal(h); len(as) > 0 {
 		return Report{OK: false, Anomalies: as}, nil
 	}
@@ -51,7 +60,7 @@ func CheckSERCtx(ctx context.Context, h *history.History) (Report, error) {
 	p := polygraph.Build(h)
 	rep := Report{Constraints: len(p.Cons), BuildTime: time.Since(start)}
 	start = time.Now()
-	ok, err := p.PruneCtx(ctx, polygraph.PruneSER)
+	ok, err := p.PrunePar(ctx, polygraph.PruneSER, par)
 	rep.PruneTime = time.Since(start)
 	if err != nil {
 		return rep, err

@@ -58,11 +58,11 @@ func (d Divergence) String() string {
 // Result is the verdict of a checker run, with a counterexample when the
 // history violates the level.
 type Result struct {
-	Level     Level
-	OK        bool
-	Anomalies []history.Anomaly // non-empty iff the pre-check failed
-	Divergence *Divergence      // non-nil iff CheckSI rejected via Definition 10
-	Cycle     []graph.Edge      // non-empty iff a forbidden cycle was found
+	Level      Level
+	OK         bool
+	Anomalies  []history.Anomaly // non-empty iff the pre-check failed
+	Divergence *Divergence       // non-nil iff CheckSI rejected via Definition 10
+	Cycle      []graph.Edge      // non-empty iff a forbidden cycle was found
 	// Stats, filled on every run.
 	NumTxns  int
 	NumEdges int
@@ -101,6 +101,12 @@ type Options struct {
 	// SparseRT makes CheckSSER encode the real-time order with a sorted
 	// time chain (O(n log n)) instead of the paper's Θ(n²) enumeration.
 	SparseRT bool
+	// Parallelism bounds the worker pool used by the parallel phases
+	// (dense real-time enumeration, sparse-RT base copy). <= 0 selects
+	// GOMAXPROCS; 1 forces the serial path. The constructed graph is
+	// identical at every setting — node-sharded construction preserves
+	// per-node edge order.
+	Parallelism int
 }
 
 // txnView caches the per-transaction read/write summaries so that graph
@@ -133,41 +139,24 @@ func buildViews(h *history.History) []txnView {
 // inferring WW edges; CheckSI uses it for its early exit, and the other
 // checkers ignore it (Lemma 3 handles those cases through cycles).
 func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergence) {
-	g, divs, _ := buildDependencyCtx(context.Background(), h, withRT)
+	g, divs, _ := buildDependencyCtx(context.Background(), h, withRT, 1)
 	return g, divs
 }
 
-// ctxCancel aborts the dense real-time enumeration from inside its
-// callback; buildDependencyCtx recovers it into a plain error.
-type ctxCancel struct{ err error }
-
 // buildDependencyCtx is BuildDependency polling ctx between batches of
 // transactions (and real-time pairs), so construction of large graphs
-// stops promptly under a deadline.
-func buildDependencyCtx(ctx context.Context, h *history.History, withRT bool) (g *graph.Graph, divs []Divergence, err error) {
+// stops promptly under a deadline. par bounds the worker pool of the
+// dense real-time enumeration (<= 0 means GOMAXPROCS, 1 is serial); the
+// constructed graph is identical at every setting.
+func buildDependencyCtx(ctx context.Context, h *history.History, withRT bool, par int) (g *graph.Graph, divs []Divergence, err error) {
 	views := buildViews(h)
 	idx, _ := history.BuildWriterIndex(h)
 	g = graph.New(len(h.Txns))
 
 	if withRT {
-		defer func() {
-			if r := recover(); r != nil {
-				if c, ok := r.(ctxCancel); ok {
-					g, divs, err = nil, nil, c.err
-					return
-				}
-				panic(r)
-			}
-		}()
-		pairs := 0
-		h.RealTimeOrder(func(a, b int) {
-			if pairs++; pairs&8191 == 0 {
-				if cerr := ctx.Err(); cerr != nil {
-					panic(ctxCancel{err: cerr})
-				}
-			}
-			g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.RT})
-		})
+		if err := addDenseRT(ctx, h, g, par); err != nil {
+			return nil, nil, err
+		}
 	}
 	h.SessionOrder(func(a, b int) {
 		g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.SO})
@@ -247,6 +236,49 @@ func buildDependencyCtx(ctx context.Context, h *history.History, withRT bool) (g
 	return g, divs, nil
 }
 
+// addDenseRT adds the paper's Θ(n²) real-time edges to g, sharding the
+// enumeration by source transaction over a bounded worker pool
+// (graph.ParallelDo). Every source's batch lands in its own adjacency
+// slice through AddEdgesFrom, and the inner target loop scans in index
+// order, so the per-node edge order — and hence every downstream cycle
+// search — matches history.RealTimeOrder's serial enumeration exactly at
+// any parallelism. Cancellation leaves g partially built; the caller
+// discards it.
+func addDenseRT(ctx context.Context, h *history.History, g *graph.Graph, par int) error {
+	n := len(h.Txns)
+	// Snapshot the per-transaction eligibility once so the n² inner loop
+	// reads a compact contiguous array instead of chasing Txn structs.
+	type rtMeta struct {
+		start, finish int64
+		committed     bool
+	}
+	meta := make([]rtMeta, n)
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		meta[i] = rtMeta{start: t.Start, finish: t.Finish, committed: t.Committed}
+	}
+	return graph.ParallelDo(ctx, par, n, func(i int) {
+		a := meta[i]
+		if !a.committed || a.finish == 0 {
+			return
+		}
+		var batch []graph.Edge
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			b := meta[j]
+			if !b.committed || b.start == 0 {
+				continue
+			}
+			if a.finish < b.start {
+				batch = append(batch, graph.Edge{From: i, To: j, Kind: graph.RT})
+			}
+		}
+		g.AddEdgesFrom(i, batch)
+	})
+}
+
 // preCheck runs CheckInternal unless disabled, returning a failed Result
 // or nil.
 func preCheck(h *history.History, lvl Level, opts Options) *Result {
@@ -279,7 +311,7 @@ func CheckSERCtx(ctx context.Context, h *history.History, opts Options) (Result,
 	if r := preCheck(h, SER, opts); r != nil {
 		return *r, nil
 	}
-	g, _, err := buildDependencyCtx(ctx, h, false)
+	g, _, err := buildDependencyCtx(ctx, h, false, opts.Parallelism)
 	if err != nil {
 		return Result{}, err
 	}
@@ -318,14 +350,14 @@ func CheckSSERCtx(ctx context.Context, h *history.History, opts Options) (Result
 	}
 	var g *graph.Graph
 	if opts.SparseRT {
-		base, _, err := buildDependencyCtx(ctx, h, false)
+		base, _, err := buildDependencyCtx(ctx, h, false, opts.Parallelism)
 		if err != nil {
 			return Result{}, err
 		}
-		g = addSparseRT(h, base)
+		g = addSparseRT(h, base, opts.Parallelism)
 	} else {
 		var err error
-		g, _, err = buildDependencyCtx(ctx, h, true)
+		g, _, err = buildDependencyCtx(ctx, h, true, opts.Parallelism)
 		if err != nil {
 			return Result{}, err
 		}
@@ -362,7 +394,7 @@ func CheckSICtx(ctx context.Context, h *history.History, opts Options) (Result, 
 	if r := preCheck(h, SI, opts); r != nil {
 		return *r, nil
 	}
-	g, divs, err := buildDependencyCtx(ctx, h, false)
+	g, divs, err := buildDependencyCtx(ctx, h, false, opts.Parallelism)
 	if err != nil {
 		return Result{}, err
 	}
@@ -435,8 +467,10 @@ func expandComposed(cycle []graph.Edge, expand map[composedKey][]graph.Edge) []g
 // base dependency graph: a time chain of start/finish events with AUX
 // edges T -> finish(T) and start(S) -> S, so that a path T ~> S through
 // the chain exists iff finish(T) < start(S). The returned graph has
-// 2n extra nodes; transaction nodes keep their IDs.
-func addSparseRT(h *history.History, base *graph.Graph) *graph.Graph {
+// 2n extra nodes; transaction nodes keep their IDs. The base-edge copy is
+// sharded by source node over par workers (the chain edges stay serial —
+// they are O(n) and ordered).
+func addSparseRT(h *history.History, base *graph.Graph, par int) *graph.Graph {
 	type event struct {
 		time    int64
 		isStart bool
@@ -461,11 +495,9 @@ func addSparseRT(h *history.History, base *graph.Graph) *graph.Graph {
 	})
 	n := base.Len()
 	g := graph.New(n + len(events))
-	for u := 0; u < n; u++ {
-		for _, e := range base.Out(u) {
-			g.AddEdge(e)
-		}
-	}
+	_ = graph.ParallelDo(context.Background(), par, n, func(u int) {
+		g.AddEdgesFrom(u, base.Out(u))
+	})
 	for i, ev := range events {
 		node := n + i
 		if i+1 < len(events) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // EdgeKind identifies the dependency relation an edge belongs to.
@@ -100,7 +101,7 @@ func (e Edge) String() string {
 type Graph struct {
 	n   int
 	out [][]Edge
-	m   int
+	m   atomic.Int64
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -112,7 +113,7 @@ func New(n int) *Graph {
 func (g *Graph) Len() int { return g.n }
 
 // NumEdges returns the number of edges.
-func (g *Graph) NumEdges() int { return g.m }
+func (g *Graph) NumEdges() int { return int(g.m.Load()) }
 
 // AddEdge inserts e. Self-loops are permitted and will be reported as
 // cycles of length one. Node indices must be in range.
@@ -121,7 +122,31 @@ func (g *Graph) AddEdge(e Edge) {
 		panic(fmt.Sprintf("graph: edge %v out of range [0,%d)", e, g.n))
 	}
 	g.out[e.From] = append(g.out[e.From], e)
-	g.m++
+	g.m.Add(1)
+}
+
+// AddEdgesFrom appends a batch of edges that all leave node from. It is
+// safe to call concurrently for DISTINCT from nodes — each call touches
+// only its own adjacency slice and the edge counter is atomic — so
+// parallel graph construction can shard by source node. Every edge's From
+// must equal from; indices must be in range.
+func (g *Graph) AddEdgesFrom(from int, edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	if from < 0 || from >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", from, g.n))
+	}
+	for _, e := range edges {
+		if e.From != from {
+			panic(fmt.Sprintf("graph: AddEdgesFrom(%d) got edge %v", from, e))
+		}
+		if e.To < 0 || e.To >= g.n {
+			panic(fmt.Sprintf("graph: edge %v out of range [0,%d)", e, g.n))
+		}
+	}
+	g.out[from] = append(g.out[from], edges...)
+	g.m.Add(int64(len(edges)))
 }
 
 // Out returns the outgoing edges of node v. The returned slice must not be
@@ -330,14 +355,31 @@ func (g *Graph) TopoSort() ([]int, bool) {
 }
 
 // Reachable returns the set of nodes reachable from `from` (including
-// itself) as a boolean slice.
+// itself) as a boolean slice. The traversal is a FIFO breadth-first
+// search, so nodes are discovered in non-decreasing hop distance.
 func (g *Graph) Reachable(from int) []bool {
-	seen := make([]bool, g.n)
+	return g.ReachableInto(nil, from)
+}
+
+// ReachableInto is Reachable reusing buf for the result when it has
+// capacity g.Len(), so hot loops issuing many queries stop allocating a
+// fresh slice per query. The (possibly re-sliced) result is returned;
+// previous contents of buf are discarded.
+func (g *Graph) ReachableInto(buf []bool, from int) []bool {
+	var seen []bool
+	if cap(buf) >= g.n {
+		seen = buf[:g.n]
+		for i := range seen {
+			seen[i] = false
+		}
+	} else {
+		seen = make([]bool, g.n)
+	}
 	seen[from] = true
-	queue := []int{from}
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	queue := make([]int, 1, 16)
+	queue[0] = from
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, e := range g.out[v] {
 			if !seen[e.To] {
 				seen[e.To] = true

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -204,7 +205,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.v1Error(w, r, http.StatusBadRequest, api.CodeUnknownChecker, "%v", err)
 		return
 	}
-	opts := checker.Options{SkipPreCheck: req.SkipPreCheck, SparseRT: req.SparseRT}
+	if req.Parallelism < 0 {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "parallelism must be >= 0, got %d", req.Parallelism)
+		return
+	}
+	par := req.Parallelism
+	if par == 0 {
+		par = s.DefaultParallelism
+	}
+	// Clamp to the host's core count: the knob tunes, it cannot
+	// oversubscribe the server with goroutines.
+	if max := runtime.GOMAXPROCS(0); par > max {
+		par = max
+	}
+	opts := checker.Options{SkipPreCheck: req.SkipPreCheck, SparseRT: req.SparseRT, Parallelism: par}
 	if req.Level != "" {
 		lvl, err := checker.ParseLevel(req.Level)
 		if err != nil {
@@ -295,7 +309,6 @@ func jobNum(id string) int {
 	n, _ := strconv.Atoi(id[1:])
 	return n
 }
-
 
 // evictTerminalLocked bounds the retained job table: when the cap is
 // reached, the oldest terminal jobs are forgotten (their reports become

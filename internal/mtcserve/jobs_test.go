@@ -116,6 +116,7 @@ func TestJobValidation(t *testing.T) {
 		{"bad level", `{"level":"NOPE","history":{}}`, http.StatusBadRequest, api.CodeUnsupportedLevel},
 		{"mismatched level", `{"checker":"cobra","level":"SI","history":{}}`, http.StatusBadRequest, api.CodeUnsupportedLevel},
 		{"missing history", `{"level":"SER"}`, http.StatusBadRequest, api.CodeInvalidHistory},
+		{"negative parallelism", `{"level":"SER","parallelism":-2,"history":{}}`, http.StatusBadRequest, api.CodeBadRequest},
 	}
 	_ = h
 	for _, tc := range cases {
@@ -136,6 +137,31 @@ func TestJobValidation(t *testing.T) {
 				t.Fatal("error envelope must echo the request id")
 			}
 		})
+	}
+}
+
+// TestJobParallelismAccepted submits jobs across the parallelism range —
+// serial, parallel, and absurdly large (clamped server-side to
+// GOMAXPROCS) — and asserts identical verdicts.
+func TestJobParallelismAccepted(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	h := history.SerialHistory(30, "x", "y")
+	var edges int
+	for _, par := range []int{0, 1, 2, 1 << 20} {
+		resp, job := submitJob(t, ts, api.JobRequest{Level: "SSER", Parallelism: par, History: h})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("parallelism %d rejected: %d", par, resp.StatusCode)
+		}
+		done := waitJob(t, ts, job.ID, 5*time.Second)
+		if done.State != api.JobDone || done.Report == nil || !done.Report.OK {
+			t.Fatalf("parallelism %d: %+v", par, done)
+		}
+		if edges == 0 {
+			edges = done.Report.Edges
+		} else if done.Report.Edges != edges {
+			t.Fatalf("parallelism %d: edge count %d diverges from %d", par, done.Report.Edges, edges)
+		}
 	}
 }
 

@@ -103,6 +103,11 @@ type Server struct {
 	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// DefaultParallelism is the engine parallelism applied to jobs that do
+	// not set their own (checker.Options.Parallelism): 0 keeps the
+	// checker-level default of GOMAXPROCS. Per-request values are clamped
+	// to the host's GOMAXPROCS either way.
+	DefaultParallelism int
 	// Logger receives the structured access log; nil discards it.
 	Logger *slog.Logger
 

@@ -16,8 +16,10 @@ package polygraph
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
+	"mtc/internal/graph"
 	"mtc/internal/history"
 	"mtc/internal/sat"
 )
@@ -232,28 +234,70 @@ func (p *Polygraph) Prune(mode PruneMode) bool {
 	return ok
 }
 
-// PruneCtx is Prune under a context: the fixpoint polls ctx at every
-// iteration and every batch of constraints, so a deadline stops the
-// closure recomputation loop on large polygraphs. On cancellation it
-// returns the context's error; the first result is then meaningless.
+// PruneCtx is PrunePar at parallelism 1: the serial reference path.
 func (p *Polygraph) PruneCtx(ctx context.Context, mode PruneMode) (bool, error) {
+	return p.PrunePar(ctx, mode, 1)
+}
+
+// reacher answers reach(u, v) queries; either the full closure table or
+// the sparse per-source rows a ReachPool answered.
+type reacher interface {
+	Reach(u, v int) bool
+}
+
+// sparseReach is a partial reachability relation: rows only for the
+// sources the constraint checks actually query. serReach collects the
+// source set from exactly the reach(e.To, *) probes createsCycle issues;
+// querying any other source is a programming error and panics loudly
+// rather than quietly answering "unreachable" (which would silently
+// weaken pruning soundness).
+type sparseReach struct {
+	rows map[int]graph.Bitset
+}
+
+func (s sparseReach) Reach(u, v int) bool {
+	row, ok := s.rows[u]
+	if !ok {
+		panic(fmt.Sprintf("polygraph: sparse reachability queried for uncollected source %d", u))
+	}
+	return row.Test(v)
+}
+
+// PrunePar is Prune with a bounded worker pool: each fixpoint round
+// computes reachability in parallel (the closure fills independent
+// topological levels concurrently; sparse rounds answer only the queried
+// rows through a ReachPool) and checks the constraints in parallel
+// shards against that shared snapshot. The verdicts are merged back in
+// constraint order, so the forced edges, the Forced count and the
+// residual constraint order are identical at every parallelism level —
+// PrunePar(ctx, m, k) is observationally equal to PruneCtx(ctx, m) for
+// all k. par <= 0 selects GOMAXPROCS.
+//
+// ctx is polled inside the reachability computation and between
+// constraint chunks, so a deadline stops the fixpoint promptly; the
+// first result is then meaningless and the context's error is returned.
+func (p *Polygraph) PrunePar(ctx context.Context, mode PruneMode, par int) (bool, error) {
+	par = graph.Parallelism(par)
 	for {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
 		var (
-			reach   [][]uint64
-			acyclic bool
-			si      *siIndex
+			reach reacher
+			si    *siIndex
+			err   error
 		)
 		if mode == PruneSER {
-			reach, acyclic = closure(p.N, p.Known)
+			reach, err = p.serReach(ctx, par)
 		} else {
 			si = newSIIndex(p.N, p.Known)
-			reach, acyclic = closure(p.N, si.composed)
+			reach, err = composedReach(ctx, p.N, si.composed, par)
 		}
-		if !acyclic {
-			return false, nil
+		if err != nil {
+			return false, err
+		}
+		if reach == nil {
+			return false, nil // known (or composed) edges alone are cyclic
 		}
 		bad := func(edges []sat.Edge) bool {
 			if mode == PruneSER {
@@ -261,24 +305,43 @@ func (p *Polygraph) PruneCtx(ctx context.Context, mode PruneMode) (bool, error) 
 			}
 			return si.optionClosesCycle(reach, edges)
 		}
-		var remaining []sat.Constraint
-		changed := false
-		for i, c := range p.Cons {
-			if i&1023 == 0 {
-				if err := ctx.Err(); err != nil {
-					return false, err
-				}
-			}
+		// Check every constraint against the same reachability snapshot in
+		// parallel shards; verdicts merge serially in constraint order so
+		// the Known append order matches the serial path exactly.
+		const (
+			keep   = iota
+			forceA // B closes a cycle
+			forceB // A closes a cycle
+			unsat  // both orientations close cycles
+		)
+		verdicts := make([]uint8, len(p.Cons))
+		err = graph.ParallelDo(ctx, par, len(p.Cons), func(i int) {
+			c := p.Cons[i]
 			aBad := bad(c.A)
 			bBad := bad(c.B)
 			switch {
 			case aBad && bBad:
-				return false, nil
+				verdicts[i] = unsat
 			case aBad:
+				verdicts[i] = forceB
+			case bBad:
+				verdicts[i] = forceA
+			}
+		})
+		if err != nil {
+			return false, err
+		}
+		var remaining []sat.Constraint
+		changed := false
+		for i, c := range p.Cons {
+			switch verdicts[i] {
+			case unsat:
+				return false, nil
+			case forceB:
 				p.Known = append(p.Known, c.B...)
 				p.Forced++
 				changed = true
-			case bBad:
+			case forceA:
 				p.Known = append(p.Known, c.A...)
 				p.Forced++
 				changed = true
@@ -291,6 +354,69 @@ func (p *Polygraph) PruneCtx(ctx context.Context, mode PruneMode) (bool, error) 
 			return true, nil
 		}
 	}
+}
+
+// serReach answers the round's reachability needs for PruneSER: a nil
+// reacher (with nil error) means the known edges are cyclic. When the
+// constraints query only a few distinct sources relative to N, per-source
+// BFS rows through the ReachPool beat materializing the full closure
+// (whose table alone costs N²/64 words); dense query sets amortize the
+// closure's word-parallel unions instead.
+func (p *Polygraph) serReach(ctx context.Context, par int) (reacher, error) {
+	out := adjacency(p.N, p.Known)
+	// createsCycle queries reach[e.To][e.From] per candidate edge.
+	srcSet := make(map[int]struct{})
+	for _, c := range p.Cons {
+		for _, e := range c.A {
+			srcSet[e.To] = struct{}{}
+		}
+		for _, e := range c.B {
+			srcSet[e.To] = struct{}{}
+		}
+	}
+	if len(srcSet)*64 >= p.N {
+		c, acyclic, err := graph.NewClosure(ctx, p.N, out, par)
+		if err != nil || !acyclic {
+			return nil, err
+		}
+		return c, nil
+	}
+	if !graph.AcyclicAdj(p.N, out) {
+		return nil, nil
+	}
+	sources := make([]int, 0, len(srcSet))
+	for s := range srcSet {
+		sources = append(sources, s)
+	}
+	rows, err := graph.NewReachPool(p.N, out, par).Rows(ctx, sources)
+	if err != nil {
+		return nil, err
+	}
+	sr := sparseReach{rows: make(map[int]graph.Bitset, len(sources))}
+	for i, s := range sources {
+		sr.rows[s] = rows[i]
+	}
+	return sr, nil
+}
+
+// composedReach computes the full closure of the SI composed graph; the
+// SI option check queries arbitrary composition endpoints, so the sparse
+// row set cannot be bounded cheaply. nil with nil error means cyclic.
+func composedReach(ctx context.Context, n int, edges []sat.Edge, par int) (reacher, error) {
+	c, acyclic, err := graph.NewClosure(ctx, n, adjacency(n, edges), par)
+	if err != nil || !acyclic {
+		return nil, err
+	}
+	return c, nil
+}
+
+// adjacency flattens an edge list into out-neighbour lists.
+func adjacency(n int, edges []sat.Edge) [][]int {
+	out := make([][]int, n)
+	for _, e := range edges {
+		out[e.From] = append(out[e.From], e.To)
+	}
+	return out
 }
 
 // siIndex indexes the known edges for SI pruning: the composed graph
@@ -325,8 +451,9 @@ func newSIIndex(n int, known []sat.Edge) *siIndex {
 
 // optionClosesCycle reports whether activating the option's edges closes a
 // cycle in the composed graph, considering compositions of the new edges
-// with the known edges and with each other.
-func (idx *siIndex) optionClosesCycle(reach [][]uint64, edges []sat.Edge) bool {
+// with the known edges and with each other. It only reads idx and the
+// reachability snapshot, so parallel shards may call it concurrently.
+func (idx *siIndex) optionClosesCycle(reach reacher, edges []sat.Edge) bool {
 	var newComp [][2]int
 	add := func(a, b int) {
 		newComp = append(newComp, [2]int{a, b})
@@ -349,17 +476,14 @@ func (idx *siIndex) optionClosesCycle(reach [][]uint64, edges []sat.Edge) bool {
 			}
 		}
 	}
-	reachable := func(a, b int) bool {
-		return reach[a][b/64]&(1<<(uint(b)%64)) != 0
-	}
 	for _, e := range newComp {
-		if e[0] == e[1] || reachable(e[1], e[0]) {
+		if e[0] == e[1] || reach.Reach(e[1], e[0]) {
 			return true
 		}
 	}
 	for i := 0; i < len(newComp); i++ {
 		for j := i + 1; j < len(newComp); j++ {
-			if reachable(newComp[i][1], newComp[j][0]) && reachable(newComp[j][1], newComp[i][0]) {
+			if reach.Reach(newComp[i][1], newComp[j][0]) && reach.Reach(newComp[j][1], newComp[i][0]) {
 				return true
 			}
 		}
@@ -367,58 +491,11 @@ func (idx *siIndex) optionClosesCycle(reach [][]uint64, edges []sat.Edge) bool {
 	return false
 }
 
-// closure computes all-pairs reachability over the edges as bitsets, and
-// reports acyclicity. Reachability is reflexive.
-func closure(n int, edges []sat.Edge) ([][]uint64, bool) {
-	words := (n + 63) / 64
-	reach := make([][]uint64, n)
-	out := make([][]int, n)
-	indeg := make([]int, n)
-	for _, e := range edges {
-		out[e.From] = append(out[e.From], e.To)
-		indeg[e.To]++
-	}
-	// Reverse topological order via Kahn.
-	order := make([]int, 0, n)
-	queue := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			queue = append(queue, v)
-		}
-	}
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		order = append(order, v)
-		for _, w := range out[v] {
-			indeg[w]--
-			if indeg[w] == 0 {
-				queue = append(queue, w)
-			}
-		}
-	}
-	if len(order) != n {
-		return nil, false
-	}
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		row := make([]uint64, words)
-		row[v/64] |= 1 << (uint(v) % 64)
-		for _, w := range out[v] {
-			for k := 0; k < words; k++ {
-				row[k] |= reach[w][k]
-			}
-		}
-		reach[v] = row
-	}
-	return reach, true
-}
-
 // createsCycle reports whether adding any of the edges would close a cycle
 // given the reachability relation (to ~> from already).
-func createsCycle(reach [][]uint64, edges []sat.Edge) bool {
+func createsCycle(reach reacher, edges []sat.Edge) bool {
 	for _, e := range edges {
-		if reach[e.To][e.From/64]&(1<<(uint(e.From)%64)) != 0 {
+		if reach.Reach(e.To, e.From) {
 			return true
 		}
 	}

@@ -1,11 +1,22 @@
 package polygraph
 
 import (
+	"context"
 	"testing"
 
+	"mtc/internal/graph"
 	"mtc/internal/history"
 	"mtc/internal/sat"
 )
+
+// closureOf is the test shim over graph.NewClosure for edge lists.
+func closureOf(n int, edges []sat.Edge) (reacher, bool) {
+	c, ok, err := graph.NewClosure(context.Background(), n, adjacency(n, edges), 1)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return c, true
+}
 
 func TestBuildSerialChainNoResidualAfterPrune(t *testing.T) {
 	h := history.SerialHistory(40, "x")
@@ -88,24 +99,24 @@ func TestKnownEdgesIncludeSOWRWWRW(t *testing.T) {
 }
 
 func TestClosureDetectsCycle(t *testing.T) {
-	_, ok := closure(2, []sat.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
+	_, ok := closureOf(2, []sat.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
 	if ok {
 		t.Fatal("cycle must be detected")
 	}
-	reach, ok := closure(3, []sat.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	reach, ok := closureOf(3, []sat.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
 	if !ok {
 		t.Fatal("chain is acyclic")
 	}
-	if reach[0][0]&(1<<2) == 0 {
+	if !reach.Reach(0, 2) {
 		t.Fatal("0 must reach 2 transitively")
 	}
-	if reach[2][0]&1 != 0 {
+	if reach.Reach(2, 0) {
 		t.Fatal("2 must not reach 0")
 	}
 }
 
 func TestCreatesCycle(t *testing.T) {
-	reach, _ := closure(3, []sat.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	reach, _ := closureOf(3, []sat.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
 	if !createsCycle(reach, []sat.Edge{{From: 2, To: 0}}) {
 		t.Fatal("2->0 closes a cycle")
 	}
@@ -140,7 +151,7 @@ func TestOptionClosesCycleDivergence(t *testing.T) {
 		{From: 0, To: 2, Kind: sat.Base},
 	}
 	idx := newSIIndex(3, known)
-	reach, ok := closure(3, idx.composed)
+	reach, ok := closureOf(3, idx.composed)
 	if !ok {
 		t.Fatal("known must be acyclic")
 	}

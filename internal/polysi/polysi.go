@@ -38,8 +38,16 @@ func CheckSI(h *history.History) Report {
 
 // CheckSICtx is CheckSI under a context: both the pruning fixpoint and
 // the SAT search poll ctx, so a deadline stops the run promptly. The
-// Report is only meaningful when the returned error is nil.
+// Report is only meaningful when the returned error is nil. Pruning runs
+// serially; CheckSIPar parallelizes it.
 func CheckSICtx(ctx context.Context, h *history.History) (Report, error) {
+	return CheckSIPar(ctx, h, 1)
+}
+
+// CheckSIPar is CheckSICtx with the (SI-sound) pruning stage sharded
+// over a bounded worker pool. par <= 0 selects GOMAXPROCS. The verdict
+// and all statistics except wall-clock are identical at every par.
+func CheckSIPar(ctx context.Context, h *history.History, par int) (Report, error) {
 	if as := history.CheckInternal(h); len(as) > 0 {
 		return Report{OK: false, Anomalies: as}, nil
 	}
@@ -50,7 +58,7 @@ func CheckSICtx(ctx context.Context, h *history.History) (Report, error) {
 	p := polygraph.Build(h)
 	rep := Report{Constraints: len(p.Cons), BuildTime: time.Since(start)}
 	start = time.Now()
-	ok, err := p.PruneCtx(ctx, polygraph.PruneSI)
+	ok, err := p.PrunePar(ctx, polygraph.PruneSI, par)
 	rep.PruneTime = time.Since(start)
 	if err != nil {
 		return rep, err

@@ -297,7 +297,7 @@ func SolveAcyclic(n int, known []Edge, cons []Constraint) Result {
 
 // SolveAcyclicCtx is SolveAcyclic under a context deadline.
 func SolveAcyclicCtx(ctx context.Context, n int, known []Edge, cons []Constraint) (Result, error) {
-	return SolveCtx(ctx, n, known, cons, func(n int) Theory { return newAcyclicTheory(n) })
+	return SolveCtx(ctx, n, known, cons, func(n int) Theory { return newAcyclicTheoryCtx(ctx, n) })
 }
 
 // SolveSI solves with the snapshot-isolation composition theory: the graph
@@ -309,7 +309,7 @@ func SolveSI(n int, known []Edge, cons []Constraint) Result {
 
 // SolveSICtx is SolveSI under a context deadline.
 func SolveSICtx(ctx context.Context, n int, known []Edge, cons []Constraint) (Result, error) {
-	return SolveCtx(ctx, n, known, cons, func(n int) Theory { return newSITheory(n) })
+	return SolveCtx(ctx, n, known, cons, func(n int) Theory { return newSITheoryCtx(ctx, n) })
 }
 
 func checkRange(n int, es []Edge) {

@@ -1,5 +1,11 @@
 package sat
 
+import (
+	"context"
+
+	"mtc/internal/graph"
+)
+
 // acyclicTheory maintains a directed graph under push/pop of edge levels
 // and checks plain acyclicity incrementally: because the graph was acyclic
 // before the newest push, any new cycle must pass through a newly added
@@ -11,6 +17,18 @@ type acyclicTheory struct {
 	pushed  [][]Edge // per level: the edges, for targeted checking
 	levels  []int    // stack of pushed level numbers
 	full    bool     // next Check scans the whole graph (first push)
+	// base caches the reachability closure of the level-0 (known) edges,
+	// built lazily on the first targeted search: most conflict paths run
+	// through the known graph, so an O(1) bitset probe answers them with
+	// the minimal conflict set {0} and skips the DFS over the whole active
+	// graph. Pop never removes level 0, so the cache survives the search;
+	// a re-push of level 0 invalidates it. The build polls ctx (the
+	// solver's), so cancellation interrupts even the O(n·m/64) closure
+	// pass; the search then falls back to plain DFS until the solver's
+	// own poll unwinds it.
+	ctx       context.Context
+	base      *graph.Closure
+	baseBuilt bool
 	// Epoch-stamped DFS scratch.
 	epoch    int
 	seen     []int
@@ -19,14 +37,49 @@ type acyclicTheory struct {
 	stack    []int
 }
 
+// levelZeroClosure builds the closure of the edges tagged level 0 in an
+// adjacency of (to, level) pairs; nil when the level-0 graph is cyclic
+// (the search then never consults the cache — Check already failed) or
+// when ctx fired mid-build (the caller marks the cache built either way,
+// so a canceled solve does not retry the closure on every search).
+func levelZeroClosure(ctx context.Context, n int, out func(v int) []aEdge) *graph.Closure {
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for _, e := range out(v) {
+			if e.level == 0 {
+				adj[v] = append(adj[v], e.to)
+			}
+		}
+	}
+	c, ok, err := graph.NewClosure(ctx, n, adj, 1)
+	if err != nil || !ok {
+		return nil
+	}
+	return c
+}
+
+// theoryCtx defaults a nil theory context: the direct constructors used
+// by tests carry no context.
+func theoryCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 type aEdge struct {
 	to    int
 	level int
 }
 
-func newAcyclicTheory(n int) Theory {
+func newAcyclicTheory(n int) Theory { return newAcyclicTheoryCtx(context.Background(), n) }
+
+// newAcyclicTheoryCtx carries the solver's context into the theory so
+// the lazily built level-0 closure stays cancellable.
+func newAcyclicTheoryCtx(ctx context.Context, n int) Theory {
 	return &acyclicTheory{
 		n:        n,
+		ctx:      theoryCtx(ctx),
 		out:      make([][]aEdge, n),
 		seen:     make([]int, n),
 		parent:   make([]aEdge, n),
@@ -45,6 +98,7 @@ func (t *acyclicTheory) Push(level int, edges []Edge) {
 	t.levels = append(t.levels, level)
 	if level == 0 {
 		t.full = true
+		t.base, t.baseBuilt = nil, false
 	}
 }
 
@@ -115,10 +169,19 @@ func (t *acyclicTheory) kahnAcyclic() bool {
 }
 
 // findPath DFSes from src to dst and, when found, returns the set of edge
-// levels on the path.
+// levels on the path. A path through the known edges alone is answered
+// from the cached level-0 closure without searching: the conflict set is
+// then exactly {0}, the strongest (smallest) clause a path can yield.
 func (t *acyclicTheory) findPath(src, dst int) ([]int, bool) {
 	if src == dst {
 		return nil, true
+	}
+	if !t.baseBuilt {
+		t.base = levelZeroClosure(t.ctx, t.n, func(v int) []aEdge { return t.out[v] })
+		t.baseBuilt = true
+	}
+	if t.base != nil && t.base.Reach(src, dst) {
+		return []int{0}, true
 	}
 	t.epoch++
 	t.seen[src] = t.epoch
@@ -162,6 +225,13 @@ type siTheory struct {
 	rwOut  [][]tEdge // outgoing rw edges per node
 	comp   [][]cEdge // composed adjacency
 	marks  []siMark
+	// base caches the closure of the level-0 composed graph (see
+	// acyclicTheory.base): composed edges whose constituents are all known
+	// edges. A probe answering a search yields the conflict set {0}. The
+	// build polls ctx (the solver's) so it stays cancellable.
+	ctx       context.Context
+	base      *graph.Closure
+	baseBuilt bool
 	// Epoch-stamped DFS scratch, reused across Checks to avoid an O(n)
 	// allocation per searched edge.
 	epoch      int
@@ -196,9 +266,14 @@ type newComp struct {
 	e    cEdge
 }
 
-func newSITheory(n int) Theory {
+func newSITheory(n int) Theory { return newSITheoryCtx(context.Background(), n) }
+
+// newSITheoryCtx carries the solver's context into the theory so the
+// lazily built level-0 composed closure stays cancellable.
+func newSITheoryCtx(ctx context.Context, n int) Theory {
 	return &siTheory{
 		n:          n,
+		ctx:        theoryCtx(ctx),
 		baseIn:     make([][]tEdge, n),
 		rwOut:      make([][]tEdge, n),
 		comp:       make([][]cEdge, n),
@@ -238,6 +313,9 @@ func (t *siTheory) Push(level int, edges []Edge) {
 		}
 	}
 	t.marks = append(t.marks, m)
+	if level == 0 {
+		t.base, t.baseBuilt = nil, false
+	}
 }
 
 func (t *siTheory) Pop(keep int) {
@@ -274,10 +352,19 @@ func (t *siTheory) Check() ([]int, bool) {
 }
 
 // findCompPath DFSes the composed graph from src to dst, returning the
-// levels of the edges on the path.
+// levels of the edges on the path. Paths running entirely through the
+// level-0 composed edges are answered from the cached closure with the
+// minimal conflict set {0}.
 func (t *siTheory) findCompPath(src, dst int) ([]int, bool) {
 	if src == dst {
 		return nil, true
+	}
+	if !t.baseBuilt {
+		t.base = t.levelZeroCompClosure()
+		t.baseBuilt = true
+	}
+	if t.base != nil && t.base.Reach(src, dst) {
+		return []int{0}, true
 	}
 	t.epoch++
 	t.seen[src] = t.epoch
@@ -306,6 +393,26 @@ func (t *siTheory) findCompPath(src, dst int) ([]int, bool) {
 	}
 	t.stack = stack
 	return nil, false
+}
+
+// levelZeroCompClosure builds the closure over the composed edges whose
+// constituents are all level-0 (known) edges; nil when that graph is
+// cyclic (then the initial full Check already reported unsat) or the
+// build was canceled.
+func (t *siTheory) levelZeroCompClosure() *graph.Closure {
+	adj := make([][]int, t.n)
+	for v := 0; v < t.n; v++ {
+		for _, e := range t.comp[v] {
+			if e.lvl1 == 0 && e.lvl2 <= 0 {
+				adj[v] = append(adj[v], e.to)
+			}
+		}
+	}
+	c, ok, err := graph.NewClosure(t.ctx, t.n, adj, 1)
+	if err != nil || !ok {
+		return nil
+	}
+	return c
 }
 
 func levelsOfCEdge(e cEdge) []int {

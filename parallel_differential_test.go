@@ -1,0 +1,116 @@
+// parallel_differential_test.go property-tests the parallel engine paths
+// against their serial references: on every history — clean or
+// fault-injected, MT or general-transaction shaped — every affected
+// engine must return the identical verdict, anomaly list and edge count
+// at parallelism 1, 2 and 4. This is the contract the Parallelism knob
+// advertises (checker.Options): only wall-clock may change.
+package main
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mtc/internal/checker"
+	"mtc/internal/core"
+	"mtc/internal/faults"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/runner"
+	"mtc/internal/workload"
+)
+
+// parCheck runs one engine/level on one history at several parallelism
+// settings and demands wire-identical reports.
+func parCheck(t *testing.T, name string, lvl checker.Level, h *history.History, tag string) {
+	t.Helper()
+	ctx := context.Background()
+	ref, err := checker.Run(ctx, name, h, checker.Options{Level: lvl, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("%s/%s/%s: serial run failed: %v", tag, name, lvl, err)
+	}
+	for _, par := range []int{2, 4} {
+		got, err := checker.Run(ctx, name, h, checker.Options{Level: lvl, Parallelism: par})
+		if err != nil {
+			t.Fatalf("%s/%s/%s par %d: %v", tag, name, lvl, par, err)
+		}
+		if got.OK != ref.OK {
+			t.Fatalf("%s/%s/%s par %d: OK=%v, serial OK=%v\nserial detail: %s\npar detail: %s",
+				tag, name, lvl, par, got.OK, ref.OK, ref.Detail, got.Detail)
+		}
+		if got.Txns != ref.Txns || got.Edges != ref.Edges {
+			t.Fatalf("%s/%s/%s par %d: txns/edges %d/%d, serial %d/%d",
+				tag, name, lvl, par, got.Txns, got.Edges, ref.Txns, ref.Edges)
+		}
+		if !reflect.DeepEqual(got.Anomalies, ref.Anomalies) {
+			t.Fatalf("%s/%s/%s par %d: anomalies diverge\nserial: %v\npar:    %v",
+				tag, name, lvl, par, ref.Anomalies, got.Anomalies)
+		}
+	}
+}
+
+// engines lists every (engine, level) pair with a parallel phase: the
+// MTC dense-RT enumeration and the Cobra/PolySI prune pipelines.
+var parEngines = []struct {
+	name string
+	lvl  checker.Level
+}{
+	{"mtc", core.SSER}, // parallel dense real-time enumeration
+	{"mtc", core.SER},
+	{"mtc", core.SI},
+	{"cobra", core.SER}, // parallel SER prune
+	{"polysi", core.SI}, // parallel SI prune
+}
+
+// TestDifferentialSerialVsParallel replays >= 1000 randomized histories
+// through every parallel-capable engine at parallelism 1, 2 and 4.
+func TestDifferentialSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow under -short")
+	}
+	var bugs []faults.Bug
+	for _, b := range faults.Bugs() {
+		if !b.LWT {
+			bugs = append(bugs, b)
+		}
+	}
+	histories := 0
+	check := func(h *history.History, tag string) {
+		for _, e := range parEngines {
+			parCheck(t, e.name, e.lvl, h, tag)
+		}
+		histories++
+	}
+	for seed := int64(1); seed <= 130; seed++ {
+		// Clean MT histories from every store mode: timestamps present, so
+		// the SSER dense-RT path runs for real.
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 3, Txns: 6, Objects: 4,
+			Dist: workload.Uniform, Seed: seed, ReadOnlyFrac: 0.25,
+		})
+		for _, mode := range []kv.Mode{kv.ModeSerializable, kv.ModeSI} {
+			check(runner.Run(kv.NewStore(mode), w, runner.Config{Retries: 2}).H, mode.String())
+		}
+		// General-transaction histories: blind writes leave undetermined
+		// writer pairs, so the Cobra/PolySI prune loop has real shards.
+		wg := workload.GenerateGT(workload.GTConfig{
+			Sessions: 3, Txns: 6, Objects: 3, OpsPerTxn: 3, Seed: seed,
+		})
+		check(runner.Run(kv.NewStore(kv.ModeSerializable), wg, runner.Config{Retries: 2}).H, "gt")
+		// Fault-injected histories: violating verdicts (anomalies, cycles,
+		// unsat prunes) must stay identical too.
+		wf := workload.GenerateMT(workload.MTConfig{
+			Sessions: 3, Txns: 8, Objects: 2,
+			Dist: workload.Exponential, Seed: seed, ReadOnlyFrac: 0.25,
+		})
+		for i := 0; i < 5; i++ {
+			b := bugs[(int(seed)+i)%len(bugs)]
+			check(runner.Run(b.NewStore(seed), wf, runner.Config{Retries: 2}).H, b.Name)
+		}
+	}
+	if histories < 1000 {
+		t.Fatalf("differential corpus too small: %d histories", histories)
+	}
+	t.Logf("compared %d histories across %d engine/level pairs at parallelism 1, 2, 4",
+		histories, len(parEngines))
+}

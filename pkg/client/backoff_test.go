@@ -1,0 +1,64 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers both RFC 9110 forms — delay-seconds and
+// HTTP-date — plus the cap that keeps a bad header from stalling the
+// client for minutes, and the malformed fallbacks.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC)
+	httpDate := func(at time.Time) string { return at.UTC().Format(http.TimeFormat) }
+	cases := []struct {
+		name string
+		ra   string
+		want time.Duration
+		ok   bool
+	}{
+		{"empty", "", 0, false},
+		{"seconds", "2", 2 * time.Second, true},
+		{"zero seconds", "0", 0, true},
+		{"seconds above cap", "600", maxRetryAfter, true},
+		{"negative seconds", "-3", 0, false},
+		{"http date ahead", httpDate(now.Add(5 * time.Second)), 5 * time.Second, true},
+		{"http date far ahead", httpDate(now.Add(time.Hour)), maxRetryAfter, true},
+		{"http date in the past", httpDate(now.Add(-time.Minute)), 0, true},
+		{"garbage", "soon", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseRetryAfter(tc.ra, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.ra, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestBackoffUsesRetryAfterDate wires the date form through backoff
+// itself: an HTTP-date a second out must beat the doubling default, and
+// a malformed header must fall back to it.
+func TestBackoffUsesRetryAfterDate(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", time.Now().Add(10*time.Second).UTC().Format(http.TimeFormat))
+	if d := backoff(resp, 0); d < 8*time.Second || d > maxRetryAfter {
+		t.Fatalf("date-form backoff = %v, want ~10s (capped at %v)", d, maxRetryAfter)
+	}
+	resp.Header.Set("Retry-After", "not-a-time")
+	if d := backoff(resp, 1); d != 100*time.Millisecond {
+		t.Fatalf("malformed header must fall back to doubling backoff, got %v", d)
+	}
+	if d := backoff(nil, 0); d != 50*time.Millisecond {
+		t.Fatalf("nil response backoff = %v, want 50ms", d)
+	}
+	// The doubling default is capped too: high attempt counts must not
+	// overflow into negative (instant-retry) durations or exceed the cap.
+	for _, attempt := range []int{10, 40, 100} {
+		if d := backoff(nil, attempt); d != maxRetryAfter {
+			t.Fatalf("attempt %d backoff = %v, want cap %v", attempt, d, maxRetryAfter)
+		}
+	}
+}

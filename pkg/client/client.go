@@ -108,17 +108,58 @@ func retryable(status int) bool {
 		status == http.StatusGatewayTimeout
 }
 
+// maxRetryAfter caps the delay a Retry-After header can impose. RFC 9110
+// allows both delay-seconds and an HTTP-date, and a misconfigured (or
+// hostile) server can send either form minutes or hours out; a client
+// stalled that long looks hung, so anything above the cap is clamped.
+const maxRetryAfter = 30 * time.Second
+
 // backoff picks the delay before a retry: the server's Retry-After when
-// present, else a doubling backoff from 50ms.
+// present — either delay-seconds or an HTTP-date per RFC 9110 — else a
+// doubling backoff from 50ms. Both forms are capped at maxRetryAfter
+// (the doubling form would otherwise overflow at high attempt counts).
 func backoff(resp *http.Response, attempt int) time.Duration {
 	if resp != nil {
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				return time.Duration(secs) * time.Second
-			}
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			return d
 		}
 	}
-	return 50 * time.Millisecond << uint(attempt)
+	if attempt > 30 { // 50ms << 30 already exceeds any sane cap
+		return maxRetryAfter
+	}
+	d := 50 * time.Millisecond << uint(attempt)
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
+// parseRetryAfter interprets a Retry-After value relative to now. It
+// returns ok=false on an absent or malformed header (the caller falls
+// back to its own backoff), and a delay clamped to [0, maxRetryAfter]
+// otherwise; a date in the past means "retry now".
+func parseRetryAfter(ra string, now time.Time) (time.Duration, bool) {
+	if ra == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(ra); err == nil {
+		d = at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+	} else {
+		return 0, false
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }
 
 // do issues one request with retry, decoding a 2xx body into out (when

@@ -73,6 +73,12 @@ const (
 // ParseLevel maps a level name (any case) to its Level.
 func ParseLevel(s string) (Level, error) { return checker.ParseLevel(s) }
 
+// DefaultParallelism returns the worker-pool size the engines use when
+// Options.Parallelism is left zero: GOMAXPROCS. Set Options.Parallelism
+// to 1 to force the serial paths; verdicts are identical at every
+// setting, only wall-clock changes.
+func DefaultParallelism() int { return graph.Parallelism(0) }
+
 // Check runs the named engine from the default registry on h under ctx.
 // Cancellation stops the engine inside its hot loops; the returned error
 // is then ctx's error. Use IsUnsupported to detect histories the engine
