@@ -5,6 +5,16 @@
 // trackable.
 //
 //	go test -run '^$' -bench . -benchmem . | mtc-benchjson -out BENCH_$(date +%F).json
+//
+// With -compare it additionally gates the run against a committed
+// baseline snapshot: every ns/op benchmark present in the baseline must
+// appear in the current run (a silent rename or a bench regex matching
+// nothing fails the build) and must not be slower than the baseline by
+// more than -tolerance (fractional; 0.25 = 25%). Regressions exit 1 so
+// the CI bench job fails. Refresh procedure: docs/ci.md.
+//
+//	go test -run '^$' -bench 'SER10k|SI10k' -benchtime 3x . \
+//	  | mtc-benchjson -compare bench/baseline.json -tolerance 0.25
 package main
 
 import (
@@ -36,11 +46,17 @@ type Snapshot struct {
 
 // benchLine matches e.g.
 // "BenchmarkBatchSER10k-8   	      24	  46519241 ns/op	 1234 B/op	  12 allocs/op"
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+// extraMetric matches the custom b.ReportMetric units (e.g. the
+// long-stream benchmarks' "4.800 peak-heap-MB") and the allocation pair.
+var extraMetric = regexp.MustCompile(`([\d.]+) (peak-heap-MB|B/op|allocs/op)`)
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit id recorded in the snapshot")
+	compare := flag.String("compare", "", "baseline snapshot to gate against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline (0.25 = 25%)")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -62,13 +78,15 @@ func main() {
 		}
 		b := Bench{Name: m[1], Value: v, Unit: "ns/op", Extra: m[2] + " times"}
 		snap.Benches = append(snap.Benches, b)
-		if m[4] != "" {
-			if bytes, err := strconv.ParseFloat(m[4], 64); err == nil {
-				snap.Benches = append(snap.Benches, Bench{Name: m[1] + "/alloc", Value: bytes, Unit: "B/op"})
+		for _, em := range extraMetric.FindAllStringSubmatch(line, -1) {
+			val, err := strconv.ParseFloat(em[1], 64)
+			if err != nil {
+				continue
 			}
-			if allocs, err := strconv.ParseFloat(m[5], 64); err == nil {
-				snap.Benches = append(snap.Benches, Bench{Name: m[1] + "/allocs", Value: allocs, Unit: "allocs/op"})
-			}
+			suffix := map[string]string{
+				"peak-heap-MB": "/peak-heap-MB", "B/op": "/alloc", "allocs/op": "/allocs",
+			}[em[2]]
+			snap.Benches = append(snap.Benches, Bench{Name: m[1] + suffix, Value: val, Unit: em[2]})
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -79,23 +97,85 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtc-benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
-	var w *os.File = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out != "" || *compare == "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
 			fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		if *out != "" {
+			fmt.Printf("wrote %d benches to %s\n", len(snap.Benches), *out)
+		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
-		os.Exit(1)
+	if *compare != "" {
+		if err := compareBaseline(*compare, snap, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	if *out != "" {
-		fmt.Printf("wrote %d benches to %s\n", len(snap.Benches), *out)
+}
+
+// compareBaseline gates the current snapshot against the committed
+// baseline: every ns/op entry of the baseline must exist in cur (a
+// renamed benchmark must not silently drop out of the gate) and must
+// not regress past tolerance. Improvements and in-tolerance drift are
+// reported but pass.
+func compareBaseline(path string, cur Snapshot, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
 	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	current := make(map[string]float64, len(cur.Benches))
+	for _, b := range cur.Benches {
+		if b.Unit == "ns/op" {
+			current[b.Name] = b.Value
+		}
+	}
+	tracked, regressions, missing := 0, 0, 0
+	for _, b := range base.Benches {
+		if b.Unit != "ns/op" {
+			continue // allocation counts gate nothing: too machine-dependent
+		}
+		tracked++
+		got, ok := current[b.Name]
+		if !ok {
+			missing++
+			fmt.Fprintf(os.Stderr, "MISSING  %-40s in baseline (%.0f ns/op) but not in this run — renamed? update %s\n",
+				b.Name, b.Value, path)
+			continue
+		}
+		ratio := got/b.Value - 1
+		switch {
+		case ratio > tolerance:
+			regressions++
+			fmt.Fprintf(os.Stderr, "REGRESS  %-40s %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+				b.Name, b.Value, got, ratio*100, tolerance*100)
+		default:
+			fmt.Printf("ok       %-40s %.0f -> %.0f ns/op (%+.1f%%)\n", b.Name, b.Value, got, ratio*100)
+		}
+	}
+	if tracked == 0 {
+		return fmt.Errorf("baseline %s tracks no ns/op benchmarks", path)
+	}
+	if regressions+missing > 0 {
+		return fmt.Errorf("%d regression(s), %d missing benchmark(s) against %s (see docs/ci.md to refresh the baseline)",
+			regressions, missing, path)
+	}
+	fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s\n", tracked, tolerance*100, path)
+	return nil
 }

@@ -44,9 +44,15 @@ func main() {
 		maxSessions = flag.Int("max-sessions", mtcserve.DefaultMaxSessions, "cap on live streaming sessions")
 		maxBody     = flag.Int64("max-body", mtcserve.DefaultMaxBodyBytes, "request body size limit in bytes")
 		parallelism = flag.Int("parallelism", 0, "default engine parallelism for jobs that do not set one (0 = GOMAXPROCS; requests are clamped to GOMAXPROCS)")
+		window      = flag.Int("window", 0, "default epoch-compaction window for streaming sessions that do not request one (0 = unbounded)")
+		sessionIdle = flag.Duration("session-idle", mtcserve.DefaultSessionIdle, "evict streaming sessions idle longer than this")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *window < 0 {
+		logger.Error("mtc-serve: -window must be >= 0", "window", *window)
+		os.Exit(2)
+	}
 	if _, err := mtc.LookupChecker(*def); err != nil {
 		logger.Error("mtc-serve: bad -checker", "err", err)
 		os.Exit(2)
@@ -61,6 +67,8 @@ func main() {
 	srv.MaxSessions = *maxSessions
 	srv.MaxBodyBytes = *maxBody
 	srv.DefaultParallelism = *parallelism
+	srv.DefaultWindow = *window
+	srv.SessionIdleTimeout = *sessionIdle
 	srv.Logger = logger
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

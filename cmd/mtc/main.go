@@ -50,6 +50,7 @@ func main() {
 		out          = flag.String("out", "", "save the generated history to this JSON file")
 		timeout      = flag.Duration("timeout", 0, "abort verification after this duration (0 = no limit)")
 		parallelism  = flag.Int("parallelism", 0, "worker pool size for the parallel engine phases (0 = GOMAXPROCS, 1 = serial)")
+		window       = flag.Int("window", 0, "epoch-compaction window for streaming/incremental verification: keep O(window) checker state instead of the whole history (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -92,11 +93,17 @@ func main() {
 		Dist: workload.DistKind(*dist), Seed: *seed, ReadOnlyFrac: 0.25,
 	})
 
+	if *window < 0 {
+		fatalf("-window must be >= 0, got %d", *window)
+	}
 	if *stream {
 		if *checkerName != "mtc" && *checkerName != "mtc-incremental" {
 			fatalf("-stream verifies with the incremental MTC engine; it cannot run -checker %s", *checkerName)
 		}
-		runStreaming(store, w, *retries, claimed, *out, *timeout)
+		if *window > 0 && *out != "" {
+			fatalf("-window frees the history as the stream advances; it cannot be combined with -out")
+		}
+		runStreaming(store, w, *retries, claimed, *out, *timeout, *window)
 		return
 	}
 
@@ -113,7 +120,7 @@ func main() {
 
 	ctx, cancel := verifyContext(*timeout)
 	defer cancel()
-	v, err := checker.Run(ctx, *checkerName, res.H, checker.Options{Level: claimed, Parallelism: *parallelism})
+	v, err := checker.Run(ctx, *checkerName, res.H, checker.Options{Level: claimed, Parallelism: *parallelism, Window: *window})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -160,18 +167,22 @@ func explain(v checker.Report) {
 
 // runStreaming verifies the run online, reporting the violation at the
 // commit that introduced it.
-func runStreaming(store *kv.Store, w *workload.Workload, retries int, lvl core.Level, out string, timeout time.Duration) {
+func runStreaming(store *kv.Store, w *workload.Workload, retries int, lvl core.Level, out string, timeout time.Duration, window int) {
 	if lvl == core.SSER {
 		fatalf("-stream supports SER and SI (SSER needs the full real-time order); use the batch checker")
 	}
 	ctx, cancel := verifyContext(timeout)
 	defer cancel()
-	res := runner.RunStream(ctx, store, w, runner.Config{Retries: retries}, lvl)
+	res := runner.RunStream(ctx, store, w, runner.Config{Retries: retries, Window: window}, lvl)
 	if res.Err != nil {
 		fmt.Printf("run cut short: %v\n", res.Err)
 	}
 	fmt.Printf("history: %d committed, %d aborted (abort rate %.1f%%)\n",
 		res.Committed, res.Aborted, res.AbortRate()*100)
+	if window > 0 {
+		fmt.Printf("windowed verification: window %d, %d txns compacted over %d epochs\n",
+			window, res.Verdict.CompactedTxns, res.Verdict.CompactedEpochs)
+	}
 	if out != "" {
 		if err := history.SaveFile(out, res.H); err != nil {
 			fatalf("save: %v", err)

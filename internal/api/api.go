@@ -67,6 +67,12 @@ type JobRequest struct {
 	// clamped to the server's GOMAXPROCS, so a request cannot oversubscribe
 	// the host. Negative values are rejected.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Window bounds the memory of the mtc-incremental engine
+	// (checker.Options.Window): the replay is compacted so at most
+	// O(window) transactions stay materialised, with identical verdicts.
+	// 0 checks unbounded; negative values are rejected; other engines
+	// ignore it.
+	Window int `json:"window,omitempty"`
 	// History is the history to verify, in the standard JSON encoding.
 	History *history.History `json:"history"`
 }
@@ -124,6 +130,14 @@ type JobEvent struct {
 type SessionRequest struct {
 	Level string        `json:"level"`
 	Keys  []history.Key `json:"keys"`
+	// Window bounds the session's verification memory: the online
+	// checker is compacted every window/2 transactions, so a long-lived
+	// stream holds O(window) state instead of growing forever. 0 uses
+	// the server's default window (its -window flag; 0 there means
+	// unbounded). Negative values are rejected. The window must exceed
+	// the store's maximum commit staleness for exact verdicts — staler
+	// reads surface as thin-air reads at finalization.
+	Window int `json:"window,omitempty"`
 }
 
 // TxnPayload is the wire form of one streamed transaction; Committed is
@@ -145,6 +159,14 @@ type SessionStatus struct {
 	Edges int    `json:"edges"`
 	OK    bool   `json:"ok"`
 	Final bool   `json:"final"`
+	// Window echoes the session's compaction window (0 = unbounded).
+	Window int `json:"window,omitempty"`
+	// CompactedEpochs and CompactedTxns report how often epoch
+	// compaction has run on this session and how many settled
+	// transactions it collapsed; LiveTxns is what remains materialised.
+	CompactedEpochs int `json:"compacted_epochs,omitempty"`
+	CompactedTxns   int `json:"compacted_txns,omitempty"`
+	LiveTxns        int `json:"live_txns,omitempty"`
 	// Report is present as soon as a violation is detected, and always
 	// after finalization.
 	Report *checker.Report `json:"report,omitempty"`

@@ -164,12 +164,12 @@ func TestSortRows(t *testing.T) {
 
 func TestFmtValUnits(t *testing.T) {
 	cases := map[string]string{
-		fmtVal(1.5, "s"):     "1.5000s",
-		fmtVal(2.25, "MB"):   "2.2MB",
-		fmtVal(12.34, "%"):   "12.3%",
-		fmtVal(7, "count"):   "7",
-		fmtVal(7, "txn"):     "7",
-		fmtVal(3.14, "zzz"):  "3.14zzz",
+		fmtVal(1.5, "s"):    "1.5000s",
+		fmtVal(2.25, "MB"):  "2.2MB",
+		fmtVal(12.34, "%"):  "12.3%",
+		fmtVal(7, "count"):  "7",
+		fmtVal(7, "txn"):    "7",
+		fmtVal(3.14, "zzz"): "3.14zzz",
 	}
 	for got, want := range cases {
 		if got != want {

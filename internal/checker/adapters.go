@@ -32,6 +32,7 @@ func fromResult(name string, r core.Result) Report {
 		Checker: name, Level: r.Level, OK: r.OK,
 		Txns: r.NumTxns, Edges: r.NumEdges,
 		Anomalies: r.Anomalies, Cycle: r.Cycle,
+		CompactedEpochs: r.CompactedEpochs, CompactedTxns: r.CompactedTxns,
 	}
 	if r.Divergence != nil {
 		v.Detail = r.Divergence.String()
@@ -62,6 +63,8 @@ func (mtcChecker) Check(ctx context.Context, h *history.History, opts Options) (
 
 // incrementalChecker replays the history through the online engine; on
 // live streams the same engine is driven directly (core.Incremental).
+// Options.Window > 0 selects the epoch-windowed replay: bounded memory,
+// identical verdicts.
 type incrementalChecker struct{}
 
 func (incrementalChecker) Name() string    { return "mtc-incremental" }
@@ -69,7 +72,7 @@ func (incrementalChecker) Levels() []Level { return []Level{core.SI, core.SER} }
 
 func (incrementalChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
 	start := time.Now()
-	r, err := core.CheckIncrementalCtx(ctx, h, opts.Level)
+	r, err := core.CheckIncrementalWindowedCtx(ctx, h, opts.Level, opts.Window)
 	if err != nil {
 		return Report{}, err
 	}

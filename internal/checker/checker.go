@@ -67,6 +67,14 @@ type Options struct {
 	// (differentially tested); only wall-clock changes. Engines without a
 	// parallel phase (incremental, elle, porcupine) ignore it.
 	Parallelism int
+	// Window bounds the memory of the online incremental engine
+	// (mtc-incremental): the replay is compacted every window/2
+	// transactions, so at most O(window + boundary) transactions stay
+	// materialised instead of the whole history. Verdicts, anomalies and
+	// the first offending commit are identical to the unbounded replay
+	// at every setting (differentially tested). <= 0 checks unbounded;
+	// engines other than mtc-incremental ignore it.
+	Window int
 }
 
 // PhaseTiming is the wall-clock cost of one engine phase, in
@@ -90,6 +98,12 @@ type Report struct {
 	Anomalies []history.Anomaly `json:"anomalies,omitempty"`
 	Cycle     []graph.Edge      `json:"cycle,omitempty"`
 	Timings   []PhaseTiming     `json:"timings,omitempty"`
+	// CompactedEpochs and CompactedTxns report epoch-windowed compaction
+	// (the mtc-incremental engine under Options.Window, and windowed
+	// streaming sessions): how many compactions ran and how many settled
+	// transactions they collapsed. Zero when checking unbounded.
+	CompactedEpochs int `json:"compacted_epochs,omitempty"`
+	CompactedTxns   int `json:"compacted_txns,omitempty"`
 	// Detail carries the engine-specific account: a counterexample
 	// rendering, solver statistics, or the divergence witness.
 	Detail string `json:"detail,omitempty"`

@@ -66,6 +66,11 @@ type Result struct {
 	// Stats, filled on every run.
 	NumTxns  int
 	NumEdges int
+	// Windowed-mode stats (zero when checking unbounded): how many
+	// settled transactions Incremental.Compact collapsed, over how many
+	// compaction epochs.
+	CompactedTxns   int
+	CompactedEpochs int
 }
 
 // Explain renders a human-readable account of the verdict.

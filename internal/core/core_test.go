@@ -209,7 +209,7 @@ func TestExplainOutput(t *testing.T) {
 func randomSerialMTHistory(rng *rand.Rand, n, sessions, keys int) *history.History {
 	keyNames := make([]history.Key, keys)
 	for i := range keyNames {
-		keyNames[i] = history.Key(string(rune('a' + i%26)) + string(rune('0'+i/26)))
+		keyNames[i] = history.Key(string(rune('a'+i%26)) + string(rune('0'+i/26)))
 	}
 	b := history.NewBuilder(keyNames...)
 	state := map[history.Key]history.Value{}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"mtc/internal/graph"
 	"mtc/internal/history"
@@ -29,6 +28,14 @@ import (
 // An Incremental is not safe for concurrent use; callers serialise Add
 // (internal/runner.RunStream funnels session goroutines through a
 // channel).
+//
+// Long-lived streams need not retain the whole history: Compact
+// collapses the settled prefix of the dependency graph into summary
+// edges and frees the per-transaction state behind it, bounding memory
+// by the live window instead of the stream length. Node identifiers are
+// therefore internal: every map below is keyed by the online graph's
+// node ids, and ext translates them back to external stream positions
+// (the arrival index the caller observes) when a verdict is built.
 type Incremental struct {
 	lvl Level
 	vio *Result
@@ -37,6 +44,7 @@ type Incremental struct {
 	edges int // dependency edges, mirroring the batch graph's NumEdges
 
 	topo *graph.Online
+	ext  []int // internal node id -> external stream position
 
 	initID        int
 	lastInSession map[int]int
@@ -48,6 +56,17 @@ type Incremental struct {
 	pending     map[history.Op][]int // unresolved first external reads -> reader IDs
 	readers     map[incWK][]int      // (writer, key) -> readers of the writer's value
 	overwriters map[incWK][]int      // (writer, key) -> RMW overwriters of that value
+
+	// Compaction bookkeeping: the latest committed writer per key (its
+	// values are the ones a fresh read of the key's current state
+	// observes, so its slot must survive every compaction), the stream
+	// position at which each slot was last referenced, and cumulative
+	// compaction stats.
+	latestWriter  map[history.Key]int
+	slotRef       map[incWK]int
+	compactTxns   int
+	compactEpoch  int
+	lastCompactAt int // NumTxns at the last MaybeCompact-triggered compaction
 
 	// SI-only state: the online order tracks the composed graph
 	// (SO ∪ WR ∪ WW) ; RW?, so base and RW adjacency is kept separately
@@ -77,6 +96,8 @@ func NewIncremental(lvl Level) *Incremental {
 		pending:       make(map[history.Op][]int),
 		readers:       make(map[incWK][]int),
 		overwriters:   make(map[incWK][]int),
+		latestWriter:  make(map[history.Key]int),
+		slotRef:       make(map[incWK]int),
 		baseIn:        make(map[int][]graph.Edge),
 		rwOut:         make(map[int][]graph.Edge),
 		witness:       make(map[composedKey][]graph.Edge),
@@ -95,6 +116,25 @@ func (inc *Incremental) NumEdges() int { return inc.edges }
 // Violation returns the verdict of the first detected violation, or nil
 // while the prefix fed so far is consistent.
 func (inc *Incremental) Violation() *Result { return inc.vio }
+
+// LiveNodes returns the number of transactions currently materialised in
+// the dependency graph: everything fed so far minus what Compact has
+// collapsed. A windowed stream keeps this bounded by the window plus the
+// retained boundary, independent of NumTxns.
+func (inc *Incremental) LiveNodes() int { return inc.topo.Len() }
+
+// CompactedTxns returns how many transactions Compact has collapsed so
+// far; CompactedEpochs how many compactions have taken effect.
+func (inc *Incremental) CompactedTxns() int   { return inc.compactTxns }
+func (inc *Incremental) CompactedEpochs() int { return inc.compactEpoch }
+
+// extOf translates an internal node id to its external stream position.
+func (inc *Incremental) extOf(i int) int {
+	if i >= 0 && i < len(inc.ext) {
+		return inc.ext[i]
+	}
+	return i
+}
 
 // incWK indexes the reader/overwriter groups by (writer, key).
 type incWK struct {
@@ -131,6 +171,7 @@ func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
 		return inc.vio
 	}
 	id := inc.topo.AddNode()
+	inc.ext = append(inc.ext, inc.n)
 	inc.n++
 	if !t.Committed {
 		for _, op := range t.Ops {
@@ -179,6 +220,7 @@ func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
 			}})
 		}
 		m[op.Value] = id
+		inc.latestWriter[op.Key] = id
 	}
 
 	// Writers that readers were parked on may just have arrived.
@@ -292,6 +334,7 @@ func (inc *Incremental) resolveRead(r, w int, key history.Key, val history.Value
 		return vio
 	}
 	slot := incWK{w, key}
+	inc.slotRef[slot] = inc.n // referenced now: survives window-based compaction
 	// As a reader, r anti-depends on every known overwriter of (w, key).
 	for _, o := range inc.overwriters[slot] {
 		if o == r {
@@ -378,6 +421,28 @@ func (inc *Incremental) cycle(cy []graph.Edge) *Result {
 func (inc *Incremental) fail(r Result) *Result {
 	r.NumTxns = inc.n
 	r.NumEdges = inc.edges
+	r.CompactedTxns = inc.compactTxns
+	r.CompactedEpochs = inc.compactEpoch
+	// Counterexamples are built from internal node ids; translate them to
+	// the external stream positions the caller fed.
+	for i := range r.Anomalies {
+		r.Anomalies[i].Txn = inc.extOf(r.Anomalies[i].Txn)
+	}
+	if r.Divergence != nil {
+		d := *r.Divergence
+		d.Writer = inc.extOf(d.Writer)
+		d.Reader1 = inc.extOf(d.Reader1)
+		d.Reader2 = inc.extOf(d.Reader2)
+		r.Divergence = &d
+	}
+	if len(r.Cycle) > 0 {
+		cy := make([]graph.Edge, len(r.Cycle))
+		for i, e := range r.Cycle {
+			e.From, e.To = inc.extOf(e.From), inc.extOf(e.To)
+			cy[i] = e
+		}
+		r.Cycle = cy
+	}
 	inc.vio = &r
 	return inc.vio
 }
@@ -391,18 +456,19 @@ func (inc *Incremental) Finalize() Result {
 		return *inc.vio
 	}
 	// Deterministic pick across map iteration: the earliest parked
-	// reader, breaking ties by key then value, so identical streams
+	// reader (by external stream position — internal ids are permuted by
+	// compaction), breaking ties by key then value, so identical streams
 	// report identical counterexamples.
 	best, bestReader := history.Op{}, -1
 	for key, waiters := range inc.pending {
 		r := waiters[0]
 		for _, w := range waiters {
-			if w < r {
+			if inc.extOf(w) < inc.extOf(r) {
 				r = w
 			}
 		}
-		if bestReader < 0 || r < bestReader ||
-			(r == bestReader && (key.Key < best.Key || key.Key == best.Key && key.Value < best.Value)) {
+		if bestReader < 0 || inc.extOf(r) < inc.extOf(bestReader) ||
+			(inc.extOf(r) == inc.extOf(bestReader) && (key.Key < best.Key || key.Key == best.Key && key.Value < best.Value)) {
 			best, bestReader = key, r
 		}
 	}
@@ -417,7 +483,10 @@ func (inc *Incremental) Finalize() Result {
 			{Kind: kind, Txn: bestReader, Key: best.Key, Value: best.Value},
 		}})
 	}
-	return Result{Level: inc.lvl, OK: true, NumTxns: inc.n, NumEdges: inc.edges}
+	return Result{
+		Level: inc.lvl, OK: true, NumTxns: inc.n, NumEdges: inc.edges,
+		CompactedTxns: inc.compactTxns, CompactedEpochs: inc.compactEpoch,
+	}
 }
 
 // CheckIncremental replays a complete history through the online checker
@@ -438,29 +507,10 @@ func CheckIncremental(h *history.History, lvl Level) Result {
 
 // CheckIncrementalCtx is CheckIncremental under a context: the replay
 // loop polls ctx between batches of transactions, so long replays stop
-// promptly under a deadline.
+// promptly under a deadline. It is the unbounded (window 0) form of the
+// shared replay driver in CheckIncrementalWindowedCtx.
 func CheckIncrementalCtx(ctx context.Context, h *history.History, lvl Level) (Result, error) {
-	order := make([]int, len(h.Txns))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return h.Txns[order[a]].Finish < h.Txns[order[b]].Finish
-	})
-	inc := NewIncremental(lvl)
-	perm := make([]int, 0, len(order)) // arrival position -> original ID
-	for i, id := range order {
-		if i&511 == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
-		}
-		perm = append(perm, id)
-		if vio := inc.add(h.Txns[id], h.HasInit && id == 0); vio != nil {
-			return remapResult(*vio, perm), nil
-		}
-	}
-	return remapResult(inc.Finalize(), perm), nil
+	return CheckIncrementalWindowedCtx(ctx, h, lvl, 0)
 }
 
 // remapResult rewrites stream-position transaction IDs in a verdict back

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"mtc/internal/history"
+)
+
+// CheckIncrementalWindowed replays a complete history through the online
+// checker under a bounded memory window: the stream is compacted every
+// window/2 transactions so at most O(window + boundary) transactions are
+// materialised at any moment. It decides exactly the same predicate as
+// CheckIncremental — identical verdicts, anomalies and first-offending
+// commit on every history, not just well-behaved ones — because the
+// replay driver knows the future: a pre-scan computes, for every
+// transaction, the last stream position that still references any value
+// it participates in, and pins it across compactions until then.
+// window <= 0 selects the unbounded replay.
+func CheckIncrementalWindowed(h *history.History, lvl Level, window int) Result {
+	r, _ := CheckIncrementalWindowedCtx(context.Background(), h, lvl, window)
+	return r
+}
+
+// CheckIncrementalWindowedCtx is the one replay driver behind both
+// CheckIncremental and the windowed check: transactions are fed in
+// commit (Finish timestamp) order — the order a live stream would
+// deliver them — with ctx polled between batches, and, when window > 0,
+// MaybeCompact runs on the shared cadence with the pre-scan pin.
+// Counterexample transaction IDs are mapped back to History.Txns
+// indices before returning.
+func CheckIncrementalWindowedCtx(ctx context.Context, h *history.History, lvl Level, window int) (Result, error) {
+	order := make([]int, len(h.Txns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return h.Txns[order[a]].Finish < h.Txns[order[b]].Finish
+	})
+	var keepUntil []int
+	if window > 0 {
+		keepUntil = futureRefs(h, order)
+	}
+	inc := NewIncremental(lvl)
+	perm := make([]int, 0, len(order)) // arrival position -> original ID
+	for i, id := range order {
+		if i&511 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		perm = append(perm, id)
+		if vio := inc.add(h.Txns[id], h.HasInit && id == 0); vio != nil {
+			return remapResult(*vio, perm), nil
+		}
+		if window > 0 {
+			fed := i + 1
+			inc.MaybeCompact(window, 0, func(e int) bool { return keepUntil[e] >= fed })
+		}
+	}
+	return remapResult(inc.Finalize(), perm), nil
+}
+
+// futureRefs computes, per arrival position, the last arrival position
+// that still references a value the transaction participates in — as
+// the writer (committed or aborted), a reader, or a duplicate writer.
+// Compacting at stream position p may only collapse transactions whose
+// entry is below p: everything the remaining suffix can read from,
+// write-conflict with, or need for anomaly classification stays pinned,
+// which is the exact finalized-prefix condition of the epoch contract.
+func futureRefs(h *history.History, order []int) []int {
+	n := len(order)
+	keepUntil := make([]int, n)
+	firstCommitted := make(map[history.Op]int, n) // value -> first committed writer position
+	participants := make(map[history.Op][]int, n) // value -> positions touching it
+	lastRef := make(map[history.Op]int, n)        // value -> last referencing position
+	for p, id := range order {
+		t := &h.Txns[id]
+		for _, op := range t.Ops {
+			vk := history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}
+			switch {
+			case op.Kind == history.OpWrite && !t.Committed:
+				// Aborted writer: participates (AbortedRead classification
+				// needs it alive) but neither claims the value nor refs it.
+				participants[vk] = append(participants[vk], p)
+			case op.Kind == history.OpWrite:
+				if _, dup := firstCommitted[vk]; dup {
+					// Duplicate write: the first writer must survive to p
+					// for the unique-value check to fire identically.
+					if lastRef[vk] < p {
+						lastRef[vk] = p
+					}
+				} else {
+					firstCommitted[vk] = p
+				}
+				participants[vk] = append(participants[vk], p)
+			default: // read
+				participants[vk] = append(participants[vk], p)
+				if lastRef[vk] < p {
+					lastRef[vk] = p
+				}
+			}
+		}
+	}
+	for vk, ps := range participants {
+		ref, referenced := lastRef[vk]
+		if !referenced {
+			continue
+		}
+		if _, ok := firstCommitted[vk]; !ok {
+			// Read of a value no committed transaction ever wrote: its
+			// aborted writer (if any) decides AbortedRead vs ThinAirRead
+			// at Finalize, so it must survive the whole stream.
+			ref = n
+		}
+		for _, q := range ps {
+			if keepUntil[q] < ref {
+				keepUntil[q] = ref
+			}
+		}
+	}
+	return keepUntil
+}

@@ -34,7 +34,7 @@ func la(txns ...Txn) *History {
 	return h
 }
 
-func app(k history.Key, v history.Value) Op   { return Op{Append: true, Key: k, Value: v} }
+func app(k history.Key, v history.Value) Op    { return Op{Append: true, Key: k, Value: v} }
 func rd(k history.Key, vs ...history.Value) Op { return Op{Key: k, List: vs} }
 
 func TestCleanSerialListAppend(t *testing.T) {

@@ -91,10 +91,10 @@ func notMyLastWrite() Fixture {
 	return pre("NotMyLastWrite", NotMyLastWrite, b.Build())
 }
 
-// Figure 5e: T writes x but then reads T''s value instead of its own.
+// Figure 5e: T writes x but then reads T”s value instead of its own.
 func notMyOwnWrite() Fixture {
 	b := NewBuilder("x")
-	b.Txn(0, R("x", 0), W("x", 1))           // T'
+	b.Txn(0, R("x", 0), W("x", 1))            // T'
 	b.Txn(1, R("x", 0), W("x", 2), R("x", 1)) // T reads T''s 1 after writing 2
 	return pre("NotMyOwnWrite", NotMyOwnWrite, b.Build())
 }
@@ -130,9 +130,9 @@ func sessionGuaranteeViolation() Fixture {
 // T1 on x: cycle T2 -WR(y)-> T3 -RW(x)-> T2.
 func nonMonotonicRead() Fixture {
 	b := NewBuilder("x", "y")
-	b.Txn(0, R("x", 0), W("x", 1))                           // T1
-	b.Txn(1, R("x", 1), W("x", 2), R("y", 0), W("y", 3))     // T2
-	b.Txn(2, R("y", 3), R("x", 1))                           // T3
+	b.Txn(0, R("x", 0), W("x", 1))                       // T1
+	b.Txn(1, R("x", 1), W("x", 2), R("y", 0), W("y", 3)) // T2
+	b.Txn(2, R("y", 3), R("x", 1))                       // T3
 	return dep("NonMonotonicRead", b.Build(), true)
 }
 
@@ -150,9 +150,9 @@ func fracturedRead() Fixture {
 // the SI-forbidden shape with a single RW edge.
 func causalityViolation() Fixture {
 	b := NewBuilder("x", "y")
-	b.Txn(0, R("x", 0), W("x", 1))             // T1
-	b.Txn(1, R("x", 1), R("y", 0), W("y", 2))  // T2 sees T1
-	b.Txn(2, R("y", 2), R("x", 0))             // T3 sees T2 but not T1
+	b.Txn(0, R("x", 0), W("x", 1))            // T1
+	b.Txn(1, R("x", 1), R("y", 0), W("y", 2)) // T2 sees T1
+	b.Txn(2, R("y", 2), R("x", 0))            // T3 sees T2 but not T1
 	return dep("CausalityViolation", b.Build(), true)
 }
 

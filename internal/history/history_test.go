@@ -205,11 +205,11 @@ func TestIsMiniTransaction(t *testing.T) {
 		{[]Op{R("x", 0), R("y", 0)}, true},
 		{[]Op{R("x", 0), R("y", 0), W("x", 1), W("y", 2)}, true},
 		{[]Op{R("x", 0), R("y", 0), W("y", 2), W("x", 1)}, true},
-		{[]Op{W("x", 1)}, false},                                     // write without preceding read
-		{[]Op{R("x", 0), W("y", 1)}, false},                          // write of unread key
-		{[]Op{R("x", 0), R("y", 0), R("z", 0)}, false},               // three reads
-		{[]Op{R("x", 0), W("x", 1), W("x", 2), W("x", 3)}, false},    // three writes
-		{[]Op{}, false},                                              // empty
+		{[]Op{W("x", 1)}, false},                                  // write without preceding read
+		{[]Op{R("x", 0), W("y", 1)}, false},                       // write of unread key
+		{[]Op{R("x", 0), R("y", 0), R("z", 0)}, false},            // three reads
+		{[]Op{R("x", 0), W("x", 1), W("x", 2), W("x", 3)}, false}, // three writes
+		{[]Op{}, false}, // empty
 	}
 	for i, c := range cases {
 		tx := Txn{Ops: c.ops}
@@ -280,10 +280,10 @@ func TestTextRoundTrip(t *testing.T) {
 
 func TestReadTextErrors(t *testing.T) {
 	cases := []string{
-		"r x 1\n",                      // op before header
-		"txn 0 s0 0 0 C\nbogus x 1\n",  // unknown directive
-		"txn 1 s0 0 0 C\n",             // out-of-order id
-		"txn 0 s0 0 0\n",               // malformed header
+		"r x 1\n",                       // op before header
+		"txn 0 s0 0 0 C\nbogus x 1\n",   // unknown directive
+		"txn 1 s0 0 0 C\n",              // out-of-order id
+		"txn 0 s0 0 0\n",                // malformed header
 		"txn 0 s0 0 0 C\nr x notanum\n", // bad value
 	}
 	for i, c := range cases {

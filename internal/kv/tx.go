@@ -17,13 +17,13 @@ type Tx struct {
 	stale   bool  // true when the StaleSnapshot fault fired at Begin
 	done    bool
 
-	ops      []history.Op                     // program-order op log
-	writeBuf map[history.Key]history.Value    // last buffered write per key
-	appends  map[history.Key][]history.Value  // buffered list appends
-	readSeen map[history.Key]int64            // version ts observed per read key
-	readSnap map[history.Key]int64            // per-key forked snapshot (LongFork)
-	held     []history.Key                    // 2PL locks held
-	finishTS int64
+	ops       []history.Op                    // program-order op log
+	writeBuf  map[history.Key]history.Value   // last buffered write per key
+	appends   map[history.Key][]history.Value // buffered list appends
+	readSeen  map[history.Key]int64           // version ts observed per read key
+	readSnap  map[history.Key]int64           // per-key forked snapshot (LongFork)
+	held      []history.Key                   // 2PL locks held
+	finishTS  int64
 	committed bool
 }
 

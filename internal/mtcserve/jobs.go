@@ -160,6 +160,9 @@ func (s *Server) Close() {
 	s.closed = true
 	s.startWorkers() // ensure the queue exists before closing it
 	close(s.queue)
+	if s.janitorStop != nil {
+		close(s.janitorStop) // stops the idle-session sweeper, if running
+	}
 }
 
 // runJob executes one job on a pool worker under its timeout.
@@ -218,7 +221,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if max := runtime.GOMAXPROCS(0); par > max {
 		par = max
 	}
-	opts := checker.Options{SkipPreCheck: req.SkipPreCheck, SparseRT: req.SparseRT, Parallelism: par}
+	if req.Window < 0 {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "window must be >= 0, got %d", req.Window)
+		return
+	}
+	opts := checker.Options{SkipPreCheck: req.SkipPreCheck, SparseRT: req.SparseRT, Parallelism: par, Window: req.Window}
 	if req.Level != "" {
 		lvl, err := checker.ParseLevel(req.Level)
 		if err != nil {

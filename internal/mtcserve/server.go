@@ -103,6 +103,15 @@ type Server struct {
 	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// DefaultWindow is the compaction window applied to streaming
+	// sessions that do not request their own (api.SessionRequest.Window):
+	// 0 keeps sessions unbounded unless they opt in.
+	DefaultWindow int
+	// SessionIdleTimeout evicts streaming sessions that have not been
+	// touched for this long (default DefaultSessionIdle), so abandoned
+	// streams do not pin checker state or session slots forever. An
+	// evicted session answers 404 like a deleted one.
+	SessionIdleTimeout time.Duration
 	// DefaultParallelism is the engine parallelism applied to jobs that do
 	// not set their own (checker.Options.Parallelism): 0 keeps the
 	// checker-level default of GOMAXPROCS. Per-request values are clamped
@@ -111,9 +120,11 @@ type Server struct {
 	// Logger receives the structured access log; nil discards it.
 	Logger *slog.Logger
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   int
+	mu          sync.Mutex
+	sessions    map[string]*session
+	nextID      int
+	janitorOnce sync.Once
+	janitorStop chan struct{}
 
 	jobsMu      sync.Mutex
 	jobs        map[string]*job
@@ -129,14 +140,23 @@ const DefaultMaxSessions = 1024
 // DefaultMaxBodyBytes is the default request-body size limit.
 const DefaultMaxBodyBytes = 64 << 20
 
+// DefaultSessionIdle is the default idle-eviction timeout for streaming
+// sessions.
+const DefaultSessionIdle = 30 * time.Minute
+
 // session is one streaming verification session.
 type session struct {
-	mu      sync.Mutex
-	lvl     core.Level
-	inc     *core.Incremental
-	final   *core.Result
-	stopped bool
+	mu       sync.Mutex
+	lvl      core.Level
+	inc      *core.Incremental
+	final    *core.Result
+	stopped  bool
+	window   int // compaction window; 0 = unbounded
+	lastUsed time.Time
 }
+
+// touch stamps the session as active. Caller must hold sess.mu.
+func (sess *session) touch() { sess.lastUsed = time.Now() }
 
 // NewServer returns a server dispatching on the given registry; nil
 // selects the default registry with every engine registered.
@@ -145,10 +165,61 @@ func NewServer(reg *checker.Registry) *Server {
 		reg = checker.Default
 	}
 	return &Server{
-		reg:      reg,
-		sessions: make(map[string]*session),
-		jobs:     make(map[string]*job),
+		reg:         reg,
+		sessions:    make(map[string]*session),
+		jobs:        make(map[string]*job),
+		janitorStop: make(chan struct{}),
 	}
+}
+
+func (s *Server) sessionIdle() time.Duration {
+	if s.SessionIdleTimeout > 0 {
+		return s.SessionIdleTimeout
+	}
+	return DefaultSessionIdle
+}
+
+// startJanitor launches the idle-session sweeper on first use.
+func (s *Server) startJanitor() {
+	s.janitorOnce.Do(func() {
+		interval := s.sessionIdle() / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if n := s.sweepIdleSessions(time.Now()); n > 0 {
+						s.logger().Info("evicted idle sessions", "count", n)
+					}
+				case <-s.janitorStop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// sweepIdleSessions evicts every session idle longer than the timeout
+// and reports how many it removed.
+func (s *Server) sweepIdleSessions(now time.Time) int {
+	idle := s.sessionIdle()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for id, sess := range s.sessions {
+		sess.mu.Lock()
+		stale := now.Sub(sess.lastUsed) > idle
+		sess.mu.Unlock()
+		if stale {
+			delete(s.sessions, id)
+			evicted++
+		}
+	}
+	return evicted
 }
 
 // Handler returns the service's HTTP handler over the default registry.
@@ -194,7 +265,9 @@ func (s *Server) logger() *slog.Logger {
 	if s.Logger != nil {
 		return s.Logger
 	}
-	return slog.New(slog.DiscardHandler)
+	// io.Discard handler rather than slog.DiscardHandler: the latter is
+	// Go 1.24+ and the CI matrix still builds 1.23.
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 // Handler builds the route table behind the middleware chain.
@@ -334,6 +407,7 @@ func reportFromResult(r core.Result, checkerName string) checker.Report {
 		Level: r.Level, Checker: checkerName, OK: r.OK,
 		Txns: r.NumTxns, Edges: r.NumEdges,
 		Anomalies: r.Anomalies, Cycle: r.Cycle,
+		CompactedEpochs: r.CompactedEpochs, CompactedTxns: r.CompactedTxns,
 	}
 	if r.Divergence != nil {
 		v.Detail = r.Divergence.String()
@@ -419,7 +493,17 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 			"streaming checker supports levels SER and SI, not %q", req.Level)
 		return
 	}
-	sess := &session{lvl: lvl, inc: core.NewIncremental(lvl)}
+	if req.Window < 0 {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest,
+			"window must be >= 0, got %d", req.Window)
+		return
+	}
+	window := req.Window
+	if window == 0 {
+		window = s.DefaultWindow
+	}
+	sess := &session{lvl: lvl, inc: core.NewIncremental(lvl), window: window}
+	sess.touch()
 	if len(req.Keys) > 0 {
 		sess.inc.InitTxn(req.Keys...)
 	}
@@ -439,6 +523,7 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	id := "s" + strconv.Itoa(s.nextID)
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	s.startJanitor()
 	writeJSON(w, http.StatusCreated, s.status(id, sess))
 }
 
@@ -456,6 +541,10 @@ func (s *Server) status(id string, sess *session) api.SessionStatus {
 		ID: id, Level: string(sess.lvl),
 		Txns: sess.inc.NumTxns(), Edges: sess.inc.NumEdges(),
 		OK: true, Final: sess.stopped,
+		Window:          sess.window,
+		CompactedEpochs: sess.inc.CompactedEpochs(),
+		CompactedTxns:   sess.inc.CompactedTxns(),
+		LiveTxns:        sess.inc.LiveNodes(),
 	}
 	if sess.final != nil {
 		st.OK = sess.final.OK
@@ -514,9 +603,11 @@ func (s *Server) handleSessionTxns(w http.ResponseWriter, r *http.Request) {
 		s.v1Error(w, r, http.StatusConflict, api.CodeConflict, "session %q is finalized", id)
 		return
 	}
+	sess.touch()
 	for i := range txns {
 		sess.inc.Add(txns[i])
 	}
+	sess.inc.MaybeCompact(sess.window, 0, nil)
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.status(id, sess))
 }
@@ -528,6 +619,9 @@ func (s *Server) handleSessionVerdict(w http.ResponseWriter, r *http.Request) {
 		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown session %q", id)
 		return
 	}
+	sess.mu.Lock()
+	sess.touch()
+	sess.mu.Unlock()
 	if final := r.URL.Query().Get("final"); final == "1" || strings.EqualFold(final, "true") {
 		sess.mu.Lock()
 		if !sess.stopped {

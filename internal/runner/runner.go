@@ -33,6 +33,17 @@ type Config struct {
 	// client sessions overlap). 0 uses a default that yields the
 	// scheduler after every operation.
 	OpDelay int
+	// Window bounds the memory of a streaming run (RunStream only): the
+	// online checker is compacted every Window/2 committed observations,
+	// keeping O(Window) verification state instead of O(run), and the
+	// run's history is not retained (StreamResult.H is nil). 0 verifies
+	// unbounded. The window must exceed the store's maximum commit
+	// staleness for verdict parity; see core.Incremental.Compact.
+	Window int
+	// CompactEvery overrides how often (in observed transactions) the
+	// windowed stream compacts; 0 picks Window/2. Smaller values bound
+	// memory tighter at more rebuild cost. Ignored when Window is 0.
+	CompactEvery int
 }
 
 // Result is the outcome of a run.

@@ -50,6 +50,11 @@ type streamMsg struct {
 // SER or SI (the online checker's levels). Cancelling ctx stops the
 // sessions at the next transaction boundary; the result then carries the
 // context's error and the verdict over the executed prefix.
+//
+// With cfg.Window > 0 the checker is compacted as the stream advances
+// (epoch-windowed verification): memory stays bounded by the window
+// regardless of run length, the history is not assembled (StreamResult.H
+// is nil), and the verdict carries the compaction stats.
 func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level) *StreamResult {
 	s.Init(w.Keys)
 	ch := make(chan streamMsg, 256)
@@ -84,7 +89,12 @@ func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Confi
 	res := &StreamResult{}
 	inc := core.NewIncremental(lvl)
 	inc.InitTxn(w.Keys...)
-	b := history.NewBuilder(w.Keys...)
+	// Windowed streams keep memory bounded: no history builder, and the
+	// checker is compacted on the shared MaybeCompact cadence.
+	var b *history.Builder
+	if cfg.Window <= 0 {
+		b = history.NewBuilder(w.Keys...)
+	}
 	planned := 0
 	for _, specs := range w.Sessions {
 		planned += len(specs)
@@ -107,17 +117,22 @@ func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Confi
 				continue
 			}
 		}
-		if r.committed {
-			b.TimedTxn(msg.si, r.start, r.finish, r.ops...)
-		} else {
-			b.TimedAbortedTxn(msg.si, r.start, r.finish, r.ops...)
+		if b != nil {
+			if r.committed {
+				b.TimedTxn(msg.si, r.start, r.finish, r.ops...)
+			} else {
+				b.TimedAbortedTxn(msg.si, r.start, r.finish, r.ops...)
+			}
 		}
 		vio := inc.Add(history.Txn{Session: msg.si, Ops: r.ops, Committed: r.committed})
 		if vio != nil && !stop.Swap(true) {
 			res.ViolationAt = inc.NumTxns()
 		}
+		inc.MaybeCompact(cfg.Window, cfg.CompactEvery, nil)
 	}
-	res.H = b.Build()
+	if b != nil {
+		res.H = b.Build()
+	}
 	res.Verdict = inc.Finalize()
 	res.EarlyAborted = !res.Verdict.OK && res.Committed < planned
 	return res

@@ -114,3 +114,55 @@ func TestRunStreamHonorsCancellation(t *testing.T) {
 		t.Fatalf("canceled run executed the whole plan (%d/%d)", res.Committed, planned)
 	}
 }
+
+// TestRunStreamWindowed runs a clean streaming workload under a small
+// compaction window: the verdict must stay OK, compaction must actually
+// run, and the history must not be retained (that is the memory the
+// window frees).
+func TestRunStreamWindowed(t *testing.T) {
+	for _, lvl := range []core.Level{core.SER, core.SI} {
+		mode := kv.ModeSI
+		if lvl == core.SER {
+			mode = kv.ModeSerializable
+		}
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 6, Txns: 100, Objects: 8, Dist: workload.Uniform, Seed: 11, ReadOnlyFrac: 0.25,
+		})
+		res := RunStream(context.Background(), kv.NewStore(mode), w, Config{Retries: 6, Window: 64}, lvl)
+		if !res.Verdict.OK {
+			t.Fatalf("%s: clean store rejected under window: %s", lvl, res.Verdict.Explain())
+		}
+		if res.H != nil {
+			t.Fatalf("%s: windowed run must not retain the history", lvl)
+		}
+		if res.Verdict.CompactedEpochs == 0 || res.Verdict.CompactedTxns == 0 {
+			t.Fatalf("%s: window set but no compaction ran: %+v", lvl, res.Verdict)
+		}
+	}
+}
+
+// TestRunStreamWindowedStillCatchesViolation: the compacting stream must
+// flag an injected lost update exactly like the unbounded stream.
+func TestRunStreamWindowedStillCatchesViolation(t *testing.T) {
+	bug := faults.BugByName("mariadb-galera-10.7.3")
+	caught := false
+	for seed := int64(1); seed <= 10 && !caught; seed++ {
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 8, Txns: 400, Objects: 2, Dist: workload.Uniform, Seed: seed, ReadOnlyFrac: 0.1,
+		})
+		res := RunStream(context.Background(), bug.NewStore(seed), w, Config{Retries: 4, Window: 128}, core.SI)
+		if res.Verdict.OK {
+			continue
+		}
+		caught = true
+		if res.ViolationAt == 0 {
+			t.Fatal("violation found but ViolationAt not recorded")
+		}
+		if !res.EarlyAborted {
+			t.Fatal("violation must stop the sessions early")
+		}
+	}
+	if !caught {
+		t.Fatal("lost-update bug never manifested in 10 seeds")
+	}
+}

@@ -365,11 +365,32 @@ type Session struct {
 	ID string
 }
 
+// SessionOpts configures OpenSessionOpts.
+type SessionOpts struct {
+	// Level is the isolation level to verify online: SER or SI.
+	Level string
+	// Keys seed the session with an initial transaction writing 0 to
+	// each key.
+	Keys []mtc.Key
+	// Window bounds the session's server-side verification memory: the
+	// online checker is compacted every window/2 transactions, so a
+	// long-lived stream holds O(window) state on the server instead of
+	// growing without bound. 0 accepts the server's default window.
+	Window int
+}
+
 // OpenSession opens a streaming session at the level (SER or SI), with
 // an initial transaction writing 0 to each key.
 func (c *Client) OpenSession(ctx context.Context, level string, keys ...mtc.Key) (*Session, SessionStatus, error) {
+	return c.OpenSessionOpts(ctx, SessionOpts{Level: level, Keys: keys})
+}
+
+// OpenSessionOpts opens a streaming session with full control over the
+// session parameters, including the epoch-compaction window.
+func (c *Client) OpenSessionOpts(ctx context.Context, opts SessionOpts) (*Session, SessionStatus, error) {
 	var st SessionStatus
-	err := c.do(ctx, http.MethodPost, "/v1/sessions", api.SessionRequest{Level: level, Keys: keys}, &st)
+	req := api.SessionRequest{Level: opts.Level, Keys: opts.Keys, Window: opts.Window}
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &st)
 	if err != nil {
 		return nil, st, err
 	}

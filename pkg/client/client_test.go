@@ -194,3 +194,74 @@ func TestRetryOn429(t *testing.T) {
 		t.Fatal("never saw the queue fill")
 	}
 }
+
+// TestWindowedSessionRoundTrip drives a windowed streaming session
+// through the SDK: the window is echoed, compaction kicks in while
+// transactions stream, and the finalized verdict stays OK.
+func TestWindowedSessionRoundTrip(t *testing.T) {
+	ts, c := newServer(t)
+	defer ts.Close()
+	ctx := context.Background()
+
+	sess, st, err := c.OpenSessionOpts(ctx, client.SessionOpts{
+		Level: "SER", Keys: []mtc.Key{"x"}, Window: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Window != 32 {
+		t.Fatalf("window not echoed: %+v", st)
+	}
+	last := mtc.Value(0)
+	for i := 0; i < 200; i++ {
+		v := mtc.Value(i + 1)
+		st, err = sess.Send(ctx, client.Txn(i%3, mtc.Read("x", last), mtc.Write("x", v)))
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		last = v
+	}
+	if !st.OK || st.CompactedEpochs == 0 || st.LiveTxns >= 150 {
+		t.Fatalf("compaction did not engage: %+v", st)
+	}
+	st, err = sess.Verdict(ctx, true)
+	if err != nil || !st.Final || !st.OK {
+		t.Fatalf("final verdict: %+v (%v)", st, err)
+	}
+	if st.Txns != 201 || st.Report == nil || st.Report.CompactedEpochs != st.CompactedEpochs {
+		t.Fatalf("verdict stats: %+v", st)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobWindowOption: a job carrying a window runs the windowed replay
+// and reports its compaction stats in the final report.
+func TestJobWindowOption(t *testing.T) {
+	ts, c := newServer(t)
+	defer ts.Close()
+	ctx := context.Background()
+
+	b := mtc.NewHistoryBuilder("x")
+	last := mtc.Value(0)
+	for i := 0; i < 300; i++ {
+		v := mtc.Value(i + 1)
+		b.Txn(i%3, mtc.Read("x", last), mtc.Write("x", v))
+		last = v
+	}
+	h := b.Build()
+	rep, err := c.Check(ctx, client.JobRequest{
+		Checker: "mtc-incremental", Level: "SER", Window: 64, History: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.CompactedEpochs == 0 || rep.CompactedTxns == 0 {
+		t.Fatalf("windowed job did not compact: %+v", rep)
+	}
+	// Negative windows are rejected up front.
+	if _, err := c.SubmitJob(ctx, client.JobRequest{Window: -1, History: h}); err == nil {
+		t.Fatal("negative window must be rejected")
+	}
+}

@@ -12,6 +12,12 @@
 //	b.Txn(0, mtc.Read("x", 0), mtc.Write("x", 1))
 //	rep, err := mtc.Check(ctx, "mtc", b.Build(), mtc.Options{Level: mtc.SER})
 //
+// Long histories need not be checked with memory proportional to their
+// length: Options.Window selects the epoch-windowed replay of the
+// mtc-incremental engine, which compacts the settled prefix as it goes
+// and keeps O(window) state with verdicts identical to the unbounded
+// check (Report.CompactedEpochs reports how often it compacted).
+//
 // For the HTTP service, see pkg/client.
 package mtc
 

@@ -1,0 +1,88 @@
+// stream_bench_test.go benchmarks long-stream online verification with
+// and without epoch-windowed compaction. The windowed variant is the
+// acceptance bar of the bounded-memory pipeline: one million clean RMW
+// transactions verified with peak live heap bounded by the window
+// (reported as the peak-heap-MB metric) while the unbounded variant
+// grows linearly with the stream. Run with -benchmem to also see the
+// cumulative allocation volume.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mtc/internal/core"
+	"mtc/internal/history"
+)
+
+// benchStream feeds n clean round-robin RMW transactions (every key
+// overwritten every |keys| transactions, so values settle quickly) into
+// the online checker, compacting every window/2 when windowed, and
+// reports the peak post-GC heap.
+func benchStream(b *testing.B, n, window int) {
+	const (
+		keys     = 256
+		sessions = 8
+	)
+	keyNames := make([]history.Key, keys)
+	for i := range keyNames {
+		keyNames[i] = history.Key(fmt.Sprintf("k%03d", i))
+	}
+	var peak uint64
+	sample := func() {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		inc := core.NewIncremental(core.SER)
+		inc.InitTxn(keyNames...)
+		latest := make([]history.Value, keys)
+		next := history.Value(1)
+		for j := 0; j < n; j++ {
+			k := j % keys
+			ops := []history.Op{
+				{Kind: history.OpRead, Key: keyNames[k], Value: latest[k]},
+				{Kind: history.OpWrite, Key: keyNames[k], Value: next},
+			}
+			latest[k] = next
+			next++
+			if vio := inc.Add(history.Txn{Session: j % sessions, Ops: ops, Committed: true}); vio != nil {
+				b.Fatalf("clean stream rejected at %d: %s", j, vio.Explain())
+			}
+			inc.MaybeCompact(window, 0, nil)
+			if j%131072 == 0 {
+				sample()
+			}
+		}
+		sample()
+		if r := inc.Finalize(); !r.OK {
+			b.Fatalf("finalize rejected: %s", r.Explain())
+		}
+		if window > 0 && inc.CompactedTxns() < n/2 {
+			b.Fatalf("compaction barely ran: %d of %d txns", inc.CompactedTxns(), n)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+	b.ReportMetric(float64(n), "txns/stream")
+}
+
+// BenchmarkStream1MWindowed is the bounded-memory demonstration: 1M
+// transactions under a 4096-transaction window.
+func BenchmarkStream1MWindowed(b *testing.B) { benchStream(b, 1_000_000, 4096) }
+
+// BenchmarkStream1MUnbounded is the O(history) baseline the window is
+// measured against.
+func BenchmarkStream1MUnbounded(b *testing.B) { benchStream(b, 1_000_000, 0) }
+
+// BenchmarkStream100kWindowed / Unbounded are the quick-turnaround forms
+// used by the CI bench gate (the 1M pair is for the full trajectory).
+func BenchmarkStream100kWindowed(b *testing.B)  { benchStream(b, 100_000, 2048) }
+func BenchmarkStream100kUnbounded(b *testing.B) { benchStream(b, 100_000, 0) }
