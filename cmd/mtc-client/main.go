@@ -39,7 +39,8 @@ func main() {
 		checkerName  = flag.String("checker", "", "verification engine (empty = server default)")
 		level        = flag.String("level", "", "isolation level: SSER, SER or SI (empty = checker default)")
 		timeout      = flag.Duration("timeout", 0, "per-job execution timeout sent to the server (0 = server default)")
-		parallelism  = flag.Int("parallelism", 0, "engine parallelism requested for the job (0 = server default; clamped server-side)")
+		parallelism  = flag.Int("parallelism", 0, "engine parallelism requested for the job (0 = server default; requests above the server's limit are rejected)")
+		shardN       = flag.Int("shard", 0, "component-sharded verification: ask the server to decompose the history and check up to this many components concurrently (0 = off)")
 		wait         = flag.Duration("wait", 2*time.Minute, "how long to wait for the verdict")
 		events       = flag.Bool("events", false, "follow the job's NDJSON event stream instead of polling")
 		listCheckers = flag.Bool("checkers", false, "list the server's registered checkers and exit")
@@ -88,6 +89,9 @@ func main() {
 		if *parallelism != 0 {
 			fatalf("-parallelism tunes job engines; the session engine ignores it (drop the flag)")
 		}
+		if *shardN != 0 {
+			fatalf("-shard tunes job engines; the session engine ignores it (drop the flag)")
+		}
 		if *timeout > 0 {
 			// In stream mode there is no server-side job deadline; honour
 			// -timeout as the overall replay bound instead.
@@ -100,7 +104,7 @@ func main() {
 	}
 	req := client.JobRequest{
 		Checker: *checkerName, Level: *level,
-		TimeoutMillis: timeout.Milliseconds(), Parallelism: *parallelism,
+		TimeoutMillis: timeout.Milliseconds(), Parallelism: *parallelism, Shard: *shardN,
 		History: h,
 	}
 

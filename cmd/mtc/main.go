@@ -17,8 +17,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -29,6 +31,7 @@ import (
 	"mtc/internal/history"
 	"mtc/internal/kv"
 	"mtc/internal/runner"
+	"mtc/internal/shard"
 	"mtc/internal/workload"
 )
 
@@ -51,6 +54,9 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "abort verification after this duration (0 = no limit)")
 		parallelism  = flag.Int("parallelism", 0, "worker pool size for the parallel engine phases (0 = GOMAXPROCS, 1 = serial)")
 		window       = flag.Int("window", 0, "epoch-compaction window for streaming/incremental verification: keep O(window) checker state instead of the whole history (0 = unbounded)")
+		shardN       = flag.Int("shard", 0, "component-sharded verification: decompose the history into key-disjoint components checked by up to this many workers (0 = off)")
+		tenants      = flag.Int("tenants", 0, "split the workload into this many key-disjoint tenant groups (0/1 = single shared key space)")
+		reportFormat = flag.String("report", "text", "verdict output: text (human summary) or json (full structured checker.Report)")
 	)
 	flag.Parse()
 
@@ -75,6 +81,21 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	switch *reportFormat {
+	case "text", "json":
+	default:
+		fatalf("-report must be text or json, got %q", *reportFormat)
+	}
+	jsonReport := *reportFormat == "json"
+	if jsonReport {
+		infoOut = os.Stderr // keep stdout a single JSON document
+	}
+	if *shardN < 0 {
+		fatalf("-shard must be >= 0, got %d", *shardN)
+	}
+	if *tenants < 0 {
+		fatalf("-tenants must be >= 0, got %d", *tenants)
+	}
 
 	store, claimed := buildStore(lvl, *bug, *seed)
 	if *lwt {
@@ -84,6 +105,9 @@ func main() {
 		if *checkerName != "mtc" {
 			fatalf("-lwt runs the VLLWT pipeline; it cannot run -checker %s", *checkerName)
 		}
+		if jsonReport {
+			fatalf("-report json renders checker.Report verdicts; the VLLWT pipeline has none")
+		}
 		runLWTPipeline(store, *sessions, *txns, *seed)
 		return
 	}
@@ -91,6 +115,7 @@ func main() {
 	w := workload.GenerateMT(workload.MTConfig{
 		Sessions: *sessions, Txns: *txns, Objects: *objects,
 		Dist: workload.DistKind(*dist), Seed: *seed, ReadOnlyFrac: 0.25,
+		Tenants: *tenants,
 	})
 
 	if *window < 0 {
@@ -103,30 +128,56 @@ func main() {
 		if *window > 0 && *out != "" {
 			fatalf("-window frees the history as the stream advances; it cannot be combined with -out")
 		}
-		runStreaming(store, w, *retries, claimed, *out, *timeout, *window)
+		runStreaming(store, w, *retries, claimed, *out, *timeout, *window, *shardN, jsonReport)
 		return
 	}
 
 	res := runner.Run(store, w, runner.Config{Retries: *retries})
-	fmt.Printf("history: %d committed, %d aborted (abort rate %.1f%%)\n",
+	infof("history: %d committed, %d aborted (abort rate %.1f%%)\n",
 		res.Committed, res.Aborted, res.AbortRate()*100)
 
 	if *out != "" {
 		if err := history.SaveFile(*out, res.H); err != nil {
 			fatalf("save: %v", err)
 		}
-		fmt.Printf("saved history to %s\n", *out)
+		infof("saved history to %s\n", *out)
 	}
 
 	ctx, cancel := verifyContext(*timeout)
 	defer cancel()
-	v, err := checker.Run(ctx, *checkerName, res.H, checker.Options{Level: claimed, Parallelism: *parallelism, Window: *window})
+	name := *checkerName
+	if *shardN > 0 {
+		name = shard.Name(name) // route through the component-sharded wrapper
+	}
+	v, err := checker.Run(ctx, name, res.H, checker.Options{Level: claimed, Parallelism: *parallelism, Window: *window, Shard: *shardN})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	explain(v)
+	if jsonReport {
+		emitJSONReport(v)
+	} else {
+		explain(v)
+	}
 	if !v.OK {
 		os.Exit(1)
+	}
+}
+
+// infoOut receives the run's progress lines. It is stdout for the human
+// workflow and stderr under -report json, so a script piping stdout gets
+// exactly one JSON document.
+var infoOut io.Writer = os.Stdout
+
+// infof prints one progress line to infoOut.
+func infof(format string, args ...any) { fmt.Fprintf(infoOut, format, args...) }
+
+// emitJSONReport writes the full structured checker.Report to stdout —
+// the machine-readable verdict (the v1 wire shape) for scripts and CI.
+func emitJSONReport(v checker.Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("encode report: %v", err)
 	}
 }
 
@@ -167,27 +218,46 @@ func explain(v checker.Report) {
 
 // runStreaming verifies the run online, reporting the violation at the
 // commit that introduced it.
-func runStreaming(store *kv.Store, w *workload.Workload, retries int, lvl core.Level, out string, timeout time.Duration, window int) {
+func runStreaming(store *kv.Store, w *workload.Workload, retries int, lvl core.Level, out string, timeout time.Duration, window, shardN int, jsonReport bool) {
 	if lvl == core.SSER {
 		fatalf("-stream supports SER and SI (SSER needs the full real-time order); use the batch checker")
 	}
 	ctx, cancel := verifyContext(timeout)
 	defer cancel()
-	res := runner.RunStream(ctx, store, w, runner.Config{Retries: retries, Window: window}, lvl)
+	res := runner.RunStream(ctx, store, w, runner.Config{Retries: retries, Window: window, Shard: shardN}, lvl)
 	if res.Err != nil {
-		fmt.Printf("run cut short: %v\n", res.Err)
+		infof("run cut short: %v\n", res.Err)
 	}
-	fmt.Printf("history: %d committed, %d aborted (abort rate %.1f%%)\n",
+	if jsonReport {
+		// Save first: the report going to stdout must not skip -out.
+		if out != "" {
+			if err := history.SaveFile(out, res.H); err != nil {
+				fatalf("save: %v", err)
+			}
+			infof("saved history to %s\n", out)
+		}
+		rep := checker.ReportFromResult("mtc-incremental", res.Verdict)
+		rep.ShardComponents = res.Shards
+		emitJSONReport(rep)
+		if !res.Verdict.OK {
+			os.Exit(1)
+		}
+		return
+	}
+	infof("history: %d committed, %d aborted (abort rate %.1f%%)\n",
 		res.Committed, res.Aborted, res.AbortRate()*100)
+	if res.Shards > 0 {
+		infof("sharded verification: %d key-disjoint components, %d workers\n", res.Shards, shardN)
+	}
 	if window > 0 {
-		fmt.Printf("windowed verification: window %d, %d txns compacted over %d epochs\n",
+		infof("windowed verification: window %d, %d txns compacted over %d epochs\n",
 			window, res.Verdict.CompactedTxns, res.Verdict.CompactedEpochs)
 	}
 	if out != "" {
 		if err := history.SaveFile(out, res.H); err != nil {
 			fatalf("save: %v", err)
 		}
-		fmt.Printf("saved history to %s\n", out)
+		infof("saved history to %s\n", out)
 	}
 	if !res.Verdict.OK {
 		if res.ViolationAt > 0 {
@@ -221,7 +291,7 @@ func buildStore(lvl core.Level, bug string, seed int64) (*kv.Store, core.Level) 
 	if b == nil {
 		fatalf("unknown bug %q; use -bugs to list", bug)
 	}
-	fmt.Printf("injecting %s (%s, violates %s)\n", b.Name, b.Anomaly, b.Claimed)
+	infof("injecting %s (%s, violates %s)\n", b.Name, b.Anomaly, b.Claimed)
 	return b.NewStore(seed), b.Claimed
 }
 

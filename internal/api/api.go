@@ -63,10 +63,19 @@ type JobRequest struct {
 	SkipPreCheck bool `json:"skip_precheck,omitempty"`
 	SparseRT     bool `json:"sparse_rt,omitempty"`
 	// Parallelism bounds the worker pools of the engine's parallel phases
-	// (checker.Options.Parallelism). 0 uses the server default; values are
-	// clamped to the server's GOMAXPROCS, so a request cannot oversubscribe
-	// the host. Negative values are rejected.
+	// (checker.Options.Parallelism). 0 uses the server default. Negative
+	// values, and values exceeding the server's GOMAXPROCS clamp, are
+	// rejected with a structured 400 — the server never silently lowers a
+	// requested value; the accepted job's effective value is echoed in
+	// the Job body.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Shard routes the job through the checker's component-sharded
+	// wrapper (internal/shard): the history is decomposed into its
+	// key/session-disjoint components and up to Shard components are
+	// checked concurrently. 0 disables sharding. Negative values, and
+	// values exceeding the server's GOMAXPROCS clamp, are rejected with
+	// a structured 400; the effective value is echoed in the Job body.
+	Shard int `json:"shard,omitempty"`
 	// Window bounds the memory of the mtc-incremental engine
 	// (checker.Options.Window): the replay is compacted so at most
 	// O(window) transactions stay materialised, with identical verdicts.
@@ -100,6 +109,11 @@ type Job struct {
 	Level   string `json:"level"`
 	// Txns is the size of the submitted history.
 	Txns int `json:"txns"`
+	// Parallelism and Shard echo the effective engine options the job
+	// runs with after server defaults are applied — the request is never
+	// silently clamped, so these match the request when it set them.
+	Parallelism int `json:"parallelism,omitempty"`
+	Shard       int `json:"shard,omitempty"`
 	// Report is present once State is "done".
 	Report *checker.Report `json:"report,omitempty"`
 	// Error is present when State is "failed": the engine error or the

@@ -26,8 +26,10 @@ func init() {
 // millis converts a duration to the PhaseTiming unit.
 func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// fromResult normalises a core.Result.
-func fromResult(name string, r core.Result) Report {
+// ReportFromResult normalises a core.Result into the wire Report shape;
+// the adapters, the streaming session endpoints of mtcserve and the
+// CLIs' structured output all share it.
+func ReportFromResult(name string, r core.Result) Report {
 	v := Report{
 		Checker: name, Level: r.Level, OK: r.OK,
 		Txns: r.NumTxns, Edges: r.NumEdges,
@@ -56,7 +58,7 @@ func (mtcChecker) Check(ctx context.Context, h *history.History, opts Options) (
 	if err != nil {
 		return Report{}, err
 	}
-	rep := fromResult("mtc", r)
+	rep := ReportFromResult("mtc", r)
 	rep.Timings = []PhaseTiming{{Phase: "check", Millis: millis(time.Since(start))}}
 	return rep, nil
 }
@@ -76,7 +78,7 @@ func (incrementalChecker) Check(ctx context.Context, h *history.History, opts Op
 	if err != nil {
 		return Report{}, err
 	}
-	rep := fromResult("mtc-incremental", r)
+	rep := ReportFromResult("mtc-incremental", r)
 	rep.Timings = []PhaseTiming{{Phase: "replay", Millis: millis(time.Since(start))}}
 	return rep, nil
 }

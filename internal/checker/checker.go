@@ -75,6 +75,14 @@ type Options struct {
 	// at every setting (differentially tested). <= 0 checks unbounded;
 	// engines other than mtc-incremental ignore it.
 	Window int
+	// Shard bounds the worker pool of the component-sharded wrappers
+	// (the "*-sharded" registry entries, internal/shard): the history is
+	// decomposed into key/session-disjoint connected components and up
+	// to Shard components are checked concurrently, each through the
+	// wrapped engine. <= 0 selects GOMAXPROCS. Merged verdicts are
+	// identical to unsharded checking (differentially tested); base
+	// engines ignore the field.
+	Shard int
 }
 
 // PhaseTiming is the wall-clock cost of one engine phase, in
@@ -104,6 +112,11 @@ type Report struct {
 	// transactions they collapsed. Zero when checking unbounded.
 	CompactedEpochs int `json:"compacted_epochs,omitempty"`
 	CompactedTxns   int `json:"compacted_txns,omitempty"`
+	// ShardComponents reports component-sharded checking (the "*-sharded"
+	// wrappers under Options.Shard): how many key/session-disjoint
+	// components the history decomposed into. Zero when checking
+	// unsharded.
+	ShardComponents int `json:"shard_components,omitempty"`
 	// Detail carries the engine-specific account: a counterexample
 	// rendering, solver statistics, or the divergence witness.
 	Detail string `json:"detail,omitempty"`

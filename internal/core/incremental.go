@@ -513,9 +513,12 @@ func CheckIncrementalCtx(ctx context.Context, h *history.History, lvl Level) (Re
 	return CheckIncrementalWindowedCtx(ctx, h, lvl, 0)
 }
 
-// remapResult rewrites stream-position transaction IDs in a verdict back
-// to the original history IDs.
-func remapResult(r Result, perm []int) Result {
+// RemapResult rewrites the transaction ids of a verdict's counterexample
+// — anomalies, cycle edges and the divergence witness — through perm
+// (ids outside perm pass through). The windowed replay uses it to map
+// stream positions back to history ids, and the sharded stream verifier
+// (internal/runner) to map shard-local positions to global ones.
+func RemapResult(r Result, perm []int) Result {
 	at := func(i int) int {
 		if i >= 0 && i < len(perm) {
 			return perm[i]

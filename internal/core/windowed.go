@@ -51,14 +51,14 @@ func CheckIncrementalWindowedCtx(ctx context.Context, h *history.History, lvl Le
 		}
 		perm = append(perm, id)
 		if vio := inc.add(h.Txns[id], h.HasInit && id == 0); vio != nil {
-			return remapResult(*vio, perm), nil
+			return RemapResult(*vio, perm), nil
 		}
 		if window > 0 {
 			fed := i + 1
 			inc.MaybeCompact(window, 0, func(e int) bool { return keepUntil[e] >= fed })
 		}
 	}
-	return remapResult(inc.Finalize(), perm), nil
+	return RemapResult(inc.Finalize(), perm), nil
 }
 
 // futureRefs computes, per arrival position, the last arrival position

@@ -2,10 +2,12 @@ package history
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -29,28 +31,98 @@ func ReadJSON(r io.Reader) (*History, error) {
 	return &h, nil
 }
 
-// SaveFile writes the history to path as JSON.
+// SaveFile writes the history to path. A ".gz" suffix selects
+// transparent gzip compression; the format is chosen by the remaining
+// extension — ".txt" writes the line-oriented text format, anything else
+// the JSON encoding. "h.json", "h.json.gz", "h.txt" and "h.txt.gz" all
+// round-trip through LoadFile.
 func SaveFile(path string, h *History) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	bw := bufio.NewWriter(f)
-	if err := WriteJSON(bw, h); err != nil {
+	inner := path
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.EqualFold(filepath.Ext(path), ".gz") {
+		inner = strings.TrimSuffix(path, filepath.Ext(path))
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	bw := bufio.NewWriter(w)
+	if strings.EqualFold(filepath.Ext(inner), ".txt") {
+		err = WriteText(bw, h)
+	} else {
+		err = WriteJSON(bw, h)
+	}
+	if err != nil {
 		return err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
 }
 
-// LoadFile reads a JSON history from path.
+// LoadFile reads a history from path, sniffing the encoding by content
+// rather than trusting the extension: a gzip stream (magic 0x1f 0x8b) is
+// decompressed transparently, and the payload's first non-space byte
+// decides between the JSON codec ('{' or '[') and the line-oriented text
+// format.
 func LoadFile(path string) (*History, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadJSON(bufio.NewReader(f))
+	return ReadAuto(f)
+}
+
+// ReadAuto reads a history from r with the same content sniffing as
+// LoadFile (gzip, then JSON vs text).
+func ReadAuto(r io.Reader) (*History, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("history: gzip: %w", err)
+		}
+		defer zr.Close()
+		br = bufio.NewReader(zr)
+	}
+	if _, err := br.Peek(1); err != nil {
+		return nil, fmt.Errorf("history: empty input: %w", err)
+	}
+	if sniffJSON(br) {
+		return ReadJSON(br)
+	}
+	return ReadText(br)
+}
+
+// sniffJSON reports whether the buffered payload starts (after
+// whitespace) like a JSON document. The text format's lines start with a
+// directive or '#' comment, never '{' or '['.
+func sniffJSON(br *bufio.Reader) bool {
+	for n := 1; n <= 4096; n++ {
+		buf, _ := br.Peek(n)
+		if len(buf) < n {
+			return false // whitespace-only or empty payload
+		}
+		switch buf[n-1] {
+		case ' ', '\t', '\r', '\n':
+		case '{', '[':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 // WriteText emits the compact line-oriented text format:

@@ -14,6 +14,7 @@ import (
 	"mtc/internal/api"
 	"mtc/internal/checker"
 	"mtc/internal/history"
+	"mtc/internal/shard"
 )
 
 // Job-model defaults; Server fields override them.
@@ -64,6 +65,7 @@ func (j *job) status() api.Job {
 		ID: j.id, State: j.state,
 		Checker: j.checker, Level: string(j.opts.Level),
 		Txns: j.txns, Report: j.report, Error: j.errMsg,
+		Parallelism: j.opts.Parallelism, Shard: j.opts.Shard,
 		CreatedAt: j.created,
 	}
 	if !j.started.IsZero() {
@@ -149,20 +151,21 @@ func (s *Server) startWorkers() {
 	})
 }
 
-// Close stops the worker pool after the queued jobs drain. Submissions
-// after Close are rejected with 503.
+// Close stops the worker pool after the queued jobs drain and shuts the
+// idle-session janitor down, waiting for its goroutine to exit (no
+// goroutine outlives a graceful shutdown). Submissions after Close are
+// rejected with 503.
 func (s *Server) Close() {
 	s.jobsMu.Lock()
-	defer s.jobsMu.Unlock()
 	if s.closed {
+		s.jobsMu.Unlock()
 		return
 	}
 	s.closed = true
 	s.startWorkers() // ensure the queue exists before closing it
 	close(s.queue)
-	if s.janitorStop != nil {
-		close(s.janitorStop) // stops the idle-session sweeper, if running
-	}
+	s.jobsMu.Unlock()
+	s.stopJanitor()
 }
 
 // runJob executes one job on a pool worker under its timeout.
@@ -203,29 +206,61 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = s.defaultChecker()
 	}
-	c, err := s.reg.Lookup(name)
-	if err != nil {
-		s.v1Error(w, r, http.StatusBadRequest, api.CodeUnknownChecker, "%v", err)
-		return
-	}
+	// The parallelism and shard knobs tune, they cannot oversubscribe
+	// the server with goroutines. A request exceeding the host clamp is
+	// rejected with a structured 400 rather than silently lowered — the
+	// caller asked for a specific degree and must learn it is not
+	// available; the effective values an accepted job runs with are
+	// echoed in its Job body.
+	clamp := runtime.GOMAXPROCS(0)
 	if req.Parallelism < 0 {
 		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "parallelism must be >= 0, got %d", req.Parallelism)
+		return
+	}
+	if req.Parallelism > clamp {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest,
+			"parallelism %d exceeds the server's limit of %d (GOMAXPROCS)", req.Parallelism, clamp)
+		return
+	}
+	if req.Shard < 0 {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "shard must be >= 0, got %d", req.Shard)
+		return
+	}
+	if req.Shard > clamp {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest,
+			"shard %d exceeds the server's limit of %d (GOMAXPROCS)", req.Shard, clamp)
 		return
 	}
 	par := req.Parallelism
 	if par == 0 {
 		par = s.DefaultParallelism
 	}
-	// Clamp to the host's core count: the knob tunes, it cannot
-	// oversubscribe the server with goroutines.
-	if max := runtime.GOMAXPROCS(0); par > max {
-		par = max
+	// The server's own default is still clamped (a misconfigured flag
+	// must not oversubscribe the host); requests above were rejected.
+	if par > clamp {
+		par = clamp
+	}
+	c, err := s.reg.Lookup(name)
+	if err != nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeUnknownChecker, "%v", err)
+		return
+	}
+	if req.Shard > 0 {
+		// Route through the component-sharded wrapper of the resolved
+		// engine; an already-sharded name passes through.
+		base := name
+		name = shard.Name(name)
+		if c, err = s.reg.Lookup(name); err != nil {
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeUnknownChecker,
+				"no sharded wrapper for checker %q: %v", base, err)
+			return
+		}
 	}
 	if req.Window < 0 {
 		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "window must be >= 0, got %d", req.Window)
 		return
 	}
-	opts := checker.Options{SkipPreCheck: req.SkipPreCheck, SparseRT: req.SparseRT, Parallelism: par, Window: req.Window}
+	opts := checker.Options{SkipPreCheck: req.SkipPreCheck, SparseRT: req.SparseRT, Parallelism: par, Window: req.Window, Shard: req.Shard}
 	if req.Level != "" {
 		lvl, err := checker.ParseLevel(req.Level)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -117,6 +118,9 @@ func TestJobValidation(t *testing.T) {
 		{"mismatched level", `{"checker":"cobra","level":"SI","history":{}}`, http.StatusBadRequest, api.CodeUnsupportedLevel},
 		{"missing history", `{"level":"SER"}`, http.StatusBadRequest, api.CodeInvalidHistory},
 		{"negative parallelism", `{"level":"SER","parallelism":-2,"history":{}}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"parallelism beyond clamp", `{"level":"SER","parallelism":1048576,"history":{}}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"negative shard", `{"level":"SER","shard":-1,"history":{}}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"shard beyond clamp", `{"level":"SER","shard":1048576,"history":{}}`, http.StatusBadRequest, api.CodeBadRequest},
 	}
 	_ = h
 	for _, tc := range cases {
@@ -140,18 +144,23 @@ func TestJobValidation(t *testing.T) {
 	}
 }
 
-// TestJobParallelismAccepted submits jobs across the parallelism range —
-// serial, parallel, and absurdly large (clamped server-side to
-// GOMAXPROCS) — and asserts identical verdicts.
+// TestJobParallelismAccepted submits jobs across the accepted
+// parallelism range — default, serial, and the host clamp itself — and
+// asserts identical verdicts; the effective value is echoed in the job
+// body (a request above the clamp is a 400, covered by
+// TestJobValidation).
 func TestJobParallelismAccepted(t *testing.T) {
 	ts := httptest.NewServer(Handler())
 	defer ts.Close()
 	h := history.SerialHistory(30, "x", "y")
 	var edges int
-	for _, par := range []int{0, 1, 2, 1 << 20} {
+	for _, par := range []int{0, 1, runtime.GOMAXPROCS(0)} {
 		resp, job := submitJob(t, ts, api.JobRequest{Level: "SSER", Parallelism: par, History: h})
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("parallelism %d rejected: %d", par, resp.StatusCode)
+		}
+		if par > 0 && job.Parallelism != par {
+			t.Fatalf("job body echoes parallelism %d, want %d", job.Parallelism, par)
 		}
 		done := waitJob(t, ts, job.ID, 5*time.Second)
 		if done.State != api.JobDone || done.Report == nil || !done.Report.OK {

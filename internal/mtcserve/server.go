@@ -50,7 +50,6 @@ import (
 	"mtc/internal/api"
 	"mtc/internal/checker"
 	"mtc/internal/core"
-	"mtc/internal/graph"
 	"mtc/internal/history"
 )
 
@@ -120,11 +119,17 @@ type Server struct {
 	// Logger receives the structured access log; nil discards it.
 	Logger *slog.Logger
 
-	mu          sync.Mutex
-	sessions    map[string]*session
-	nextID      int
-	janitorOnce sync.Once
-	janitorStop chan struct{}
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	// Janitor lifecycle, guarded by mu: the sweeper starts on the first
+	// streaming session and is stopped — and waited for — by Close, so a
+	// gracefully shut down server leaks no goroutine. janitorStopped
+	// also bars a post-Close session open from resurrecting it.
+	janitorStarted bool
+	janitorStopped bool
+	janitorStop    chan struct{}
+	janitorDone    chan struct{}
 
 	jobsMu      sync.Mutex
 	jobs        map[string]*job
@@ -179,28 +184,56 @@ func (s *Server) sessionIdle() time.Duration {
 	return DefaultSessionIdle
 }
 
-// startJanitor launches the idle-session sweeper on first use.
+// startJanitor launches the idle-session sweeper on first use. A server
+// that has already been Closed never (re)starts it.
 func (s *Server) startJanitor() {
-	s.janitorOnce.Do(func() {
-		interval := s.sessionIdle() / 4
-		if interval < time.Second {
-			interval = time.Second
-		}
-		go func() {
-			t := time.NewTicker(interval)
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					if n := s.sweepIdleSessions(time.Now()); n > 0 {
-						s.logger().Info("evicted idle sessions", "count", n)
-					}
-				case <-s.janitorStop:
-					return
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.janitorStarted || s.janitorStopped {
+		return
+	}
+	s.janitorStarted = true
+	if s.janitorStop == nil { // literal-constructed Server
+		s.janitorStop = make(chan struct{})
+	}
+	s.janitorDone = make(chan struct{})
+	interval := s.sessionIdle() / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	go func() {
+		defer close(s.janitorDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if n := s.sweepIdleSessions(time.Now()); n > 0 {
+					s.logger().Info("evicted idle sessions", "count", n)
 				}
+			case <-s.janitorStop:
+				return
 			}
-		}()
-	})
+		}
+	}()
+}
+
+// stopJanitor signals the sweeper and waits until its goroutine has
+// exited; it is a no-op when the janitor never started and idempotent
+// otherwise.
+func (s *Server) stopJanitor() {
+	s.mu.Lock()
+	if !s.janitorStopped {
+		s.janitorStopped = true
+		if s.janitorStarted {
+			close(s.janitorStop)
+		}
+	}
+	done := s.janitorDone
+	s.mu.Unlock()
+	if done != nil {
+		<-done
+	}
 }
 
 // sweepIdleSessions evicts every session idle longer than the timeout
@@ -401,21 +434,10 @@ func fromReport(v checker.Report) Verdict {
 }
 
 // reportFromResult converts a core.Result to a checker.Report for the
-// session endpoints.
+// session endpoints (the shared normalisation lives in the checker
+// package).
 func reportFromResult(r core.Result, checkerName string) checker.Report {
-	v := checker.Report{
-		Level: r.Level, Checker: checkerName, OK: r.OK,
-		Txns: r.NumTxns, Edges: r.NumEdges,
-		Anomalies: r.Anomalies, Cycle: r.Cycle,
-		CompactedEpochs: r.CompactedEpochs, CompactedTxns: r.CompactedTxns,
-	}
-	if r.Divergence != nil {
-		v.Detail = r.Divergence.String()
-	}
-	if len(r.Cycle) > 0 {
-		v.Detail = graph.FormatCycle(r.Cycle)
-	}
-	return v
+	return checker.ReportFromResult(checkerName, r)
 }
 
 func (s *Server) handleFixtures(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,110 @@
+package mtcserve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mtc/internal/api"
+	"mtc/internal/history"
+)
+
+// tenantHistory builds a clean two-tenant history: two sessions, each
+// over its own key — two components for the sharded job path.
+func tenantJobHistory() *history.History {
+	b := history.NewBuilder("a", "b")
+	last := map[history.Key]history.Value{}
+	val := history.Value(1)
+	for i := 0; i < 10; i++ {
+		for s, k := range []history.Key{"a", "b"} {
+			b.Txn(s, history.R(k, last[k]), history.W(k, val))
+			last[k] = val
+			val++
+		}
+	}
+	return b.Build()
+}
+
+// TestJobSharded submits a multi-tenant history with the shard knob and
+// asserts the job routed through the sharded wrapper, echoed the
+// effective knobs, and reported the component decomposition.
+func TestJobSharded(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	resp, job := submitJob(t, ts, api.JobRequest{Checker: "mtc", Level: "SI", Shard: 1, History: tenantJobHistory()})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sharded job rejected: %d", resp.StatusCode)
+	}
+	if job.Checker != "mtc-sharded" || job.Shard != 1 {
+		t.Fatalf("job document: checker %q shard %d, want mtc-sharded/1", job.Checker, job.Shard)
+	}
+	done := waitJob(t, ts, job.ID, 5*time.Second)
+	if done.State != api.JobDone || done.Report == nil || !done.Report.OK {
+		t.Fatalf("sharded job: %+v", done)
+	}
+	if done.Report.ShardComponents != 2 {
+		t.Fatalf("report.ShardComponents = %d, want 2", done.Report.ShardComponents)
+	}
+	// The unsharded job agrees on the verdict and edge count.
+	_, ref := submitJob(t, ts, api.JobRequest{Checker: "mtc", Level: "SI", History: tenantJobHistory()})
+	refDone := waitJob(t, ts, ref.ID, 5*time.Second)
+	if refDone.Report == nil || refDone.Report.Edges != done.Report.Edges {
+		t.Fatalf("edge counts diverge: sharded %d vs unsharded %+v", done.Report.Edges, refDone.Report)
+	}
+	// An explicitly sharded checker name with the knob set does not
+	// double-wrap.
+	_, j2 := submitJob(t, ts, api.JobRequest{Checker: "mtc-sharded", Level: "SI", Shard: 1, History: tenantJobHistory()})
+	if j2.Checker != "mtc-sharded" {
+		t.Fatalf("double-wrapped checker name %q", j2.Checker)
+	}
+}
+
+// TestJanitorStopsOnClose proves the idle-session sweeper goroutine is
+// gone after a graceful shutdown: Close blocks until the janitor exits.
+func TestJanitorStopsOnClose(t *testing.T) {
+	srv := NewServer(nil)
+	srv.SessionIdleTimeout = 50 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, _ := doJSON(t, "POST", ts.URL+"/v1/sessions", api.SessionRequest{Level: "SI"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open: %d", resp.StatusCode)
+	}
+	srv.mu.Lock()
+	started, done := srv.janitorStarted, srv.janitorDone
+	srv.mu.Unlock()
+	if !started || done == nil {
+		t.Fatal("janitor did not start with the first session")
+	}
+	srv.Close()
+	select {
+	case <-done:
+	default:
+		t.Fatal("Close returned before the janitor goroutine exited")
+	}
+	// Idempotent, and a late session open must not resurrect the janitor.
+	srv.Close()
+	srv.startJanitor()
+	srv.mu.Lock()
+	resurrected := srv.janitorDone
+	srv.mu.Unlock()
+	if resurrected != done {
+		t.Fatal("startJanitor after Close restarted the sweeper")
+	}
+}
+
+// TestCloseWithoutJanitor: a server whose janitor never started shuts
+// down cleanly (stopJanitor is a no-op), including one constructed
+// literally rather than via NewServer.
+func TestCloseWithoutJanitor(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Close()
+	lit := &Server{}
+	lit.startJanitor() // lazily creates the stop channel
+	lit.Close()
+	select {
+	case <-lit.janitorDone:
+	case <-time.After(time.Second):
+		t.Fatal("literal server's janitor did not stop on Close")
+	}
+}

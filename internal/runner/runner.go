@@ -44,6 +44,15 @@ type Config struct {
 	// windowed stream compacts; 0 picks Window/2. Smaller values bound
 	// memory tighter at more rebuild cost. Ignored when Window is 0.
 	CompactEvery int
+	// Shard routes a streaming run's commits to per-component online
+	// checkers (RunStream only): the workload plan is decomposed into
+	// key-disjoint session groups (workload.Components) and up to Shard
+	// verifier goroutines check the groups concurrently, each with its
+	// own core.Incremental — and, when Window > 0, its own per-shard
+	// epoch compaction. The merged verdict's OK equals the unsharded
+	// stream's (no dependency edge crosses components). 0 keeps the
+	// single shared checker.
+	Shard int
 }
 
 // Result is the outcome of a run.

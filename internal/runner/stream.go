@@ -16,14 +16,24 @@ import (
 type StreamResult struct {
 	Result
 	// Verdict is the incremental checker's verdict over everything the
-	// run committed (identical to batch-checking H).
+	// run committed (identical to batch-checking H). On a sharded run it
+	// is the merged per-component verdict: OK is the conjunction, the
+	// counts are sums, and the counterexample comes from the first
+	// violating component with its transaction ids remapped to global
+	// stream positions (the ids of the assembled history on unwindowed
+	// runs).
 	Verdict core.Result
 	// ViolationAt is the number of transactions (including ⊥T) the
 	// checker had ingested when the violation surfaced mid-stream. It is
 	// 0 when the run verified clean AND when the violation only became
 	// decidable at Finalize (an unresolved aborted/thin-air read has no
-	// single offending commit).
+	// single offending commit). On a sharded run it counts transactions
+	// verified across every shard, exact up to the other workers'
+	// in-flight transaction.
 	ViolationAt int
+	// Shards is the number of key-disjoint components the run verified
+	// through (Config.Shard > 0); 0 on an unsharded run.
+	Shards int
 	// EarlyAborted reports that the violation stopped the sessions
 	// before the workload plan was exhausted.
 	EarlyAborted bool
@@ -39,26 +49,13 @@ type streamMsg struct {
 	rec record
 }
 
-// RunStream executes the workload with verification pipelined into the
-// run: session goroutines publish every finished transaction attempt
-// over a channel, and a verifier goroutine feeds them to the online
-// incremental checker (core.Incremental) while also assembling the
-// history. The verdict is therefore available the moment the offending
-// transaction commits — Cobra-style continuous verification — and, when
-// a violation is found, the sessions are signalled to stop, so a buggy
-// store is caught without paying for the rest of the run. lvl must be
-// SER or SI (the online checker's levels). Cancelling ctx stops the
-// sessions at the next transaction boundary; the result then carries the
-// context's error and the verdict over the executed prefix.
-//
-// With cfg.Window > 0 the checker is compacted as the stream advances
-// (epoch-windowed verification): memory stays bounded by the window
-// regardless of run length, the history is not assembled (StreamResult.H
-// is nil), and the verdict carries the compaction stats.
-func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level) *StreamResult {
+// startSessions initializes the store and launches one goroutine per
+// session publishing every finished transaction attempt on the returned
+// channel (closed when all sessions finish). Sessions block until
+// release is called and stop at the next boundary once stop is set.
+func startSessions(s *kv.Store, w *workload.Workload, cfg Config, stop *atomic.Bool) (ch chan streamMsg, release func()) {
 	s.Init(w.Keys)
-	ch := make(chan streamMsg, 256)
-	var stop atomic.Bool
+	ch = make(chan streamMsg, 256)
 	start := make(chan struct{})
 	var wg sync.WaitGroup
 	for si := range w.Sessions {
@@ -85,21 +82,15 @@ func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Confi
 		wg.Wait()
 		close(ch)
 	}()
+	return ch, func() { close(start) }
+}
 
-	res := &StreamResult{}
-	inc := core.NewIncremental(lvl)
-	inc.InitTxn(w.Keys...)
-	// Windowed streams keep memory bounded: no history builder, and the
-	// checker is compacted on the shared MaybeCompact cadence.
-	var b *history.Builder
-	if cfg.Window <= 0 {
-		b = history.NewBuilder(w.Keys...)
-	}
-	planned := 0
-	for _, specs := range w.Sessions {
-		planned += len(specs)
-	}
-	close(start)
+// drainSessions is the dispatcher loop shared by the unsharded and
+// sharded verifiers: it consumes every session record, maintains the
+// run's accounting (attempts, committed, aborted, the DropAborted skip,
+// cancellation-to-stop), assembles the history when b is non-nil, and
+// hands each record to be verified to sink.
+func drainSessions(ctx context.Context, ch <-chan streamMsg, stop *atomic.Bool, cfg Config, res *StreamResult, b *history.Builder, sink func(streamMsg)) {
 	for msg := range ch {
 		if res.Err == nil {
 			if err := ctx.Err(); err != nil {
@@ -124,16 +115,202 @@ func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Confi
 				b.TimedAbortedTxn(msg.si, r.start, r.finish, r.ops...)
 			}
 		}
-		vio := inc.Add(history.Txn{Session: msg.si, Ops: r.ops, Committed: r.committed})
+		sink(msg)
+	}
+}
+
+// plannedTxns counts the workload's planned transactions.
+func plannedTxns(w *workload.Workload) int {
+	n := 0
+	for _, specs := range w.Sessions {
+		n += len(specs)
+	}
+	return n
+}
+
+// RunStream executes the workload with verification pipelined into the
+// run: session goroutines publish every finished transaction attempt
+// over a channel, and a verifier goroutine feeds them to the online
+// incremental checker (core.Incremental) while also assembling the
+// history. The verdict is therefore available the moment the offending
+// transaction commits — Cobra-style continuous verification — and, when
+// a violation is found, the sessions are signalled to stop, so a buggy
+// store is caught without paying for the rest of the run. lvl must be
+// SER or SI (the online checker's levels). Cancelling ctx stops the
+// sessions at the next transaction boundary; the result then carries the
+// context's error and the verdict over the executed prefix.
+//
+// With cfg.Window > 0 the checker is compacted as the stream advances
+// (epoch-windowed verification): memory stays bounded by the window
+// regardless of run length, the history is not assembled (StreamResult.H
+// is nil), and the verdict carries the compaction stats.
+//
+// With cfg.Shard > 0 and a plan that decomposes into more than one
+// key-disjoint session group (workload.Components — e.g. a multi-tenant
+// plan), commits are routed to per-component incremental checkers driven
+// by up to cfg.Shard verifier goroutines, so verification scales with
+// cores instead of serialising behind one checker; Window compaction
+// then applies per shard. A plan that does not decompose falls back to
+// the single shared checker.
+func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level) *StreamResult {
+	if cfg.Shard > 0 {
+		if comps := w.Components(); len(comps) > 1 {
+			return runStreamSharded(ctx, s, w, cfg, lvl, comps)
+		}
+	}
+	var stop atomic.Bool
+	ch, release := startSessions(s, w, cfg, &stop)
+
+	res := &StreamResult{}
+	inc := core.NewIncremental(lvl)
+	inc.InitTxn(w.Keys...)
+	// Windowed streams keep memory bounded: no history builder, and the
+	// checker is compacted on the shared MaybeCompact cadence.
+	var b *history.Builder
+	if cfg.Window <= 0 {
+		b = history.NewBuilder(w.Keys...)
+	}
+	release()
+	drainSessions(ctx, ch, &stop, cfg, res, b, func(msg streamMsg) {
+		vio := inc.Add(history.Txn{Session: msg.si, Ops: msg.rec.ops, Committed: msg.rec.committed})
 		if vio != nil && !stop.Swap(true) {
 			res.ViolationAt = inc.NumTxns()
 		}
 		inc.MaybeCompact(cfg.Window, cfg.CompactEvery, nil)
-	}
+	})
 	if b != nil {
 		res.H = b.Build()
 	}
 	res.Verdict = inc.Finalize()
-	res.EarlyAborted = !res.Verdict.OK && res.Committed < planned
+	res.EarlyAborted = !res.Verdict.OK && res.Committed < plannedTxns(w)
+	return res
+}
+
+// shardMsg is one routed transaction: the component it belongs to plus
+// the transaction itself.
+type shardMsg struct {
+	comp int
+	txn  history.Txn
+}
+
+// runStreamSharded is the component-sharded verifier behind RunStream:
+// one core.Incremental per key-disjoint session group, min(cfg.Shard,
+// groups) verifier goroutines (group g is owned by worker g mod workers,
+// so one group's transactions are always checked in arrival order), and
+// the shared dispatcher loop routing records to the owning worker. Every
+// shard compacts independently under cfg.Window.
+func runStreamSharded(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Config, lvl core.Level, comps [][]int) *StreamResult {
+	res := &StreamResult{Shards: len(comps)}
+	compOf := make([]int, len(w.Sessions))
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	incs := make([]*core.Incremental, len(comps))
+	// ext[ci] maps shard ci's local stream positions (its checker's
+	// transaction ids) to global stream positions — the ids the
+	// unsharded checker and the assembled history would assign — so the
+	// merged counterexample does not leak shard-local ids. Position 0 is
+	// the shard's replicated ⊥T, standing for the global init. Windowed
+	// runs keep no such per-transaction state (it would break the
+	// bounded-memory contract); their counterexamples stay in shard
+	// positions, like everything else about a stream that retains no
+	// history to cross-reference.
+	var ext [][]int
+	if cfg.Window <= 0 {
+		ext = make([][]int, len(comps))
+	}
+	for ci, group := range comps {
+		incs[ci] = core.NewIncremental(lvl)
+		incs[ci].InitTxn(w.SessionKeys(group)...)
+		if ext != nil {
+			ext[ci] = append(ext[ci], 0)
+		}
+		for _, si := range group {
+			compOf[si] = ci
+		}
+	}
+
+	var stop atomic.Bool
+	// verified counts transactions the shard checkers have actually
+	// ingested (starting at the per-shard inits), so a recorded
+	// violation position reflects checked work, not what the dispatcher
+	// has merely enqueued; concurrent shards make it exact only up to
+	// the other workers' in-flight transaction.
+	var verified atomic.Int64
+	var violationAt atomic.Int64
+	verified.Store(int64(len(comps)))
+
+	workers := cfg.Shard
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	shardCh := make([]chan shardMsg, workers)
+	var vwg sync.WaitGroup
+	for wi := range shardCh {
+		shardCh[wi] = make(chan shardMsg, 256)
+		vwg.Add(1)
+		go func(in chan shardMsg) {
+			defer vwg.Done()
+			for m := range in {
+				inc := incs[m.comp]
+				vio := inc.Add(m.txn)
+				n := verified.Add(1)
+				if vio != nil && !stop.Swap(true) {
+					violationAt.Store(n)
+				}
+				inc.MaybeCompact(cfg.Window, cfg.CompactEvery, nil)
+			}
+		}(shardCh[wi])
+	}
+
+	ch, release := startSessions(s, w, cfg, &stop)
+	var b *history.Builder
+	if cfg.Window <= 0 {
+		b = history.NewBuilder(w.Keys...)
+	}
+	release()
+	arrival := 0 // global stream position of the last routed txn
+	drainSessions(ctx, ch, &stop, cfg, res, b, func(msg streamMsg) {
+		ci := compOf[msg.si]
+		if ci < 0 {
+			return // session outside every planned component (no specs)
+		}
+		arrival++
+		if ext != nil {
+			ext[ci] = append(ext[ci], arrival)
+		}
+		shardCh[ci%workers] <- shardMsg{comp: ci, txn: history.Txn{Session: msg.si, Ops: msg.rec.ops, Committed: msg.rec.committed}}
+	})
+	for _, in := range shardCh {
+		close(in)
+	}
+	vwg.Wait()
+
+	if b != nil {
+		res.H = b.Build()
+	}
+	merged := core.Result{Level: lvl, OK: true}
+	for ci, inc := range incs {
+		r := inc.Finalize()
+		merged.NumTxns += r.NumTxns
+		merged.NumEdges += r.NumEdges
+		merged.CompactedTxns += r.CompactedTxns
+		merged.CompactedEpochs += r.CompactedEpochs
+		if !r.OK && merged.OK {
+			// First violating component (in component order) provides the
+			// counterexample, remapped to global stream positions when the
+			// run tracked them (unwindowed).
+			if ext != nil {
+				r = core.RemapResult(r, ext[ci])
+			}
+			merged.OK = false
+			merged.Anomalies = r.Anomalies
+			merged.Divergence = r.Divergence
+			merged.Cycle = r.Cycle
+		}
+	}
+	res.Verdict = merged
+	res.ViolationAt = int(violationAt.Load())
+	res.EarlyAborted = !res.Verdict.OK && res.Committed < plannedTxns(w)
 	return res
 }

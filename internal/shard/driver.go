@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtc/internal/checker"
+	"mtc/internal/graph"
+	"mtc/internal/history"
+)
+
+// Suffix is appended to an engine's name to form its sharded wrapper's
+// registry name ("mtc" -> "mtc-sharded").
+const Suffix = "-sharded"
+
+// Name maps an engine name to its sharded wrapper's registry name;
+// already-sharded names pass through unchanged.
+func Name(engine string) string {
+	if strings.HasSuffix(engine, Suffix) {
+		return engine
+	}
+	return engine + Suffix
+}
+
+// IsSharded reports whether name is a sharded wrapper's registry name.
+func IsSharded(name string) bool { return strings.HasSuffix(name, Suffix) }
+
+func init() {
+	// Wrap every engine registered so far (the package init of
+	// internal/checker runs first — this package imports it), so the
+	// default registry serves a "*-sharded" twin of each base engine.
+	for _, c := range checker.Default.All() {
+		if !IsSharded(c.Name()) {
+			checker.Register(Wrap(c))
+		}
+	}
+}
+
+// sharded is the component-sharded wrapper of one base engine.
+type sharded struct{ base checker.Checker }
+
+// Wrap returns a checker that decomposes every history into its
+// key/session-disjoint components (Split), checks up to Options.Shard
+// components concurrently through the wrapped engine, and merges the
+// per-component reports (Merge). Its name is the base name plus
+// "-sharded"; its levels are the base's.
+func Wrap(c checker.Checker) checker.Checker { return sharded{base: c} }
+
+func (s sharded) Name() string            { return Name(s.base.Name()) }
+func (s sharded) Levels() []checker.Level { return s.base.Levels() }
+
+func (s sharded) Check(ctx context.Context, h *history.History, opts checker.Options) (checker.Report, error) {
+	return Check(ctx, s.base, h, opts)
+}
+
+// Check is the sharded driver: decompose h, check the components
+// concurrently through c (at most graph.Parallelism(opts.Shard) at a
+// time; the engine-internal opts.Parallelism is forwarded unchanged),
+// and merge. A history that decomposes into a single component is
+// checked directly — sharding degenerates to the plain engine plus a
+// partition pass.
+func Check(ctx context.Context, c checker.Checker, h *history.History, opts checker.Options) (checker.Report, error) {
+	splitStart := time.Now()
+	p := Split(h)
+	splitTime := time.Since(splitStart)
+
+	inner := opts
+	inner.Shard = 0
+	if len(p.Components) <= 1 {
+		rep, err := c.Check(ctx, h, inner)
+		if err != nil {
+			return checker.Report{}, err
+		}
+		rep.Checker = Name(c.Name())
+		rep.ShardComponents = len(p.Components)
+		if rep.ShardComponents == 0 {
+			rep.ShardComponents = 1 // nothing to split (e.g. init-only history)
+		}
+		return rep, nil
+	}
+
+	// Per-component fan-out with item granularity: components are few
+	// and coarse, so workers claim them one at a time (graph.ParallelDo's
+	// chunked claiming would hand all of them to a single worker).
+	n := len(p.Components)
+	workers := graph.Parallelism(opts.Shard)
+	if workers > n {
+		workers = n
+	}
+	// The engine-internal parallelism budget is divided across the
+	// concurrent component checks, so the total worker count stays at
+	// the caller's budget instead of multiplying to Shard*Parallelism
+	// (which would oversubscribe the host the server clamps protect).
+	if inner.Parallelism = graph.Parallelism(opts.Parallelism) / workers; inner.Parallelism < 1 {
+		inner.Parallelism = 1
+	}
+	reports := make([]checker.Report, n)
+	errs := make([]error, n)
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				reports[i], errs[i] = c.Check(ctx, p.Components[i].H, inner)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return checker.Report{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return checker.Report{}, err
+		}
+	}
+	rep := Merge(p, c.Name(), opts.Level, reports)
+	rep.Timings = append([]checker.PhaseTiming{
+		{Phase: "partition", Millis: float64(splitTime) / float64(time.Millisecond)},
+	}, rep.Timings...)
+	return rep, nil
+}
+
+// Merge combines per-component reports into the whole-history verdict:
+//
+//   - OK is the conjunction (the decomposition invariant makes this
+//     exact: no dependency edge crosses components);
+//   - anomalies are remapped to external transaction ids, concatenated,
+//     and sorted by external position (then kind, key, value);
+//   - the counterexample cycle is taken from the first-offending
+//     component — the violating component whose smallest implicated
+//     external transaction id is minimal — with its edges remapped, so
+//     FirstOffense(merged) is the minimum across components;
+//   - edge counts, per-phase timings (by phase name) and compaction
+//     stats are summed; Txns is the source history's size.
+//
+// Engine-specific Detail strings are kept from the first-offending
+// component; structured fields (anomalies, cycle edges) always carry
+// external ids.
+func Merge(p *Partition, engine string, lvl checker.Level, reports []checker.Report) checker.Report {
+	out := checker.Report{
+		Checker: Name(engine), Level: lvl, OK: true,
+		Txns:            len(p.Source.Txns),
+		ShardComponents: len(p.Components),
+	}
+	largest := 0
+	offender := -1   // component index of the first offense
+	offenderAt := -1 // its FirstOffense
+	var phaseOrder []string
+	phaseSum := make(map[string]float64)
+	for i := range reports {
+		rep := remap(&p.Components[i], reports[i])
+		if n := len(p.Components[i].H.Txns); n > largest {
+			largest = n
+		}
+		out.Edges += rep.Edges
+		out.CompactedEpochs += rep.CompactedEpochs
+		out.CompactedTxns += rep.CompactedTxns
+		out.Anomalies = append(out.Anomalies, rep.Anomalies...)
+		for _, ph := range rep.Timings {
+			if _, seen := phaseSum[ph.Phase]; !seen {
+				phaseOrder = append(phaseOrder, ph.Phase)
+			}
+			phaseSum[ph.Phase] += ph.Millis
+		}
+		if !rep.OK {
+			out.OK = false
+			at := FirstOffense(rep)
+			if offender < 0 || (at >= 0 && (offenderAt < 0 || at < offenderAt)) {
+				offender, offenderAt = i, at
+				out.Cycle = rep.Cycle
+				out.Detail = rep.Detail
+			}
+		}
+	}
+	sortAnomalies(out.Anomalies)
+	for _, ph := range phaseOrder {
+		out.Timings = append(out.Timings, checker.PhaseTiming{Phase: ph, Millis: phaseSum[ph]})
+	}
+	summary := fmt.Sprintf("sharded: %d components (largest %d txns)", len(p.Components), largest)
+	switch {
+	case out.Detail != "":
+		out.Detail = fmt.Sprintf("%s; component %d: %s", summary, offender, out.Detail)
+	default:
+		out.Detail = summary
+	}
+	return out
+}
+
+// remap rewrites a component report's transaction ids (anomalies and
+// cycle edges) to external ids. Detail strings are engine-rendered and
+// left untouched.
+func remap(c *Component, rep checker.Report) checker.Report {
+	if len(rep.Anomalies) > 0 {
+		as := make([]history.Anomaly, len(rep.Anomalies))
+		for i, a := range rep.Anomalies {
+			a.Txn = c.ExtOf(a.Txn)
+			as[i] = a
+		}
+		rep.Anomalies = as
+	}
+	if len(rep.Cycle) > 0 {
+		cy := make([]graph.Edge, len(rep.Cycle))
+		for i, e := range rep.Cycle {
+			e.From, e.To = c.ExtOf(e.From), c.ExtOf(e.To)
+			cy[i] = e
+		}
+		rep.Cycle = cy
+		rep.Detail = graph.FormatCycle(cy)
+	}
+	return rep
+}
+
+// FirstOffense returns the smallest transaction id implicated by the
+// report's counterexample (anomalies and cycle edges), or -1 when the
+// report carries no structured counterexample. On a merged sharded
+// report the ids are external, so this is the first offending
+// transaction position across all components.
+func FirstOffense(rep checker.Report) int {
+	min := -1
+	upd := func(id int) {
+		if id >= 0 && (min < 0 || id < min) {
+			min = id
+		}
+	}
+	for _, a := range rep.Anomalies {
+		upd(a.Txn)
+	}
+	for _, e := range rep.Cycle {
+		upd(e.From)
+		upd(e.To)
+	}
+	return min
+}
+
+// sortAnomalies orders a merged anomaly list deterministically by
+// external transaction position, then kind, key and value.
+func sortAnomalies(as []history.Anomaly) {
+	sort.SliceStable(as, func(i, j int) bool {
+		a, b := as[i], as[j]
+		if a.Txn != b.Txn {
+			return a.Txn < b.Txn
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Value < b.Value
+	})
+}

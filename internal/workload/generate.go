@@ -16,6 +16,13 @@ type MTConfig struct {
 	// ReadOnlyFrac is the fraction of MTs with no writes (default 0.25
 	// when zero and UseDefaults).
 	ReadOnlyFrac float64
+	// Tenants splits the plan into key-disjoint session groups — the
+	// multi-tenant scenario component-sharded verification exploits.
+	// Session s belongs to tenant s mod Tenants, and each tenant draws
+	// its keys from a private universe of Objects keys (the plan's key
+	// space grows to Objects*Tenants). <= 1 keeps the single shared key
+	// space and is byte-identical to the pre-Tenants generator.
+	Tenants int
 }
 
 // GenerateMT plans an MT workload. Each transaction is one of the five MT
@@ -31,17 +38,22 @@ func GenerateMT(cfg MTConfig) *Workload {
 		cfg.Dist = Uniform
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	tenants := cfg.Tenants
+	if tenants <= 1 {
+		tenants = 1
+	}
 	dist := NewDist(cfg.Dist, cfg.Objects, rng)
 	ro := cfg.ReadOnlyFrac
 
-	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	w := &Workload{Keys: KeyUniverse(cfg.Objects * tenants)}
 	for s := 0; s < cfg.Sessions; s++ {
+		base := (s % tenants) * cfg.Objects // tenant key-space offset
 		txns := make([]TxnSpec, cfg.Txns)
 		for i := range txns {
-			k1 := KeyName(dist.Next(rng))
-			k2 := KeyName(dist.Next(rng))
+			k1 := KeyName(base + dist.Next(rng))
+			k2 := KeyName(base + dist.Next(rng))
 			for tries := 0; k2 == k1 && cfg.Objects > 1 && tries < 8; tries++ {
-				k2 = KeyName(dist.Next(rng))
+				k2 = KeyName(base + dist.Next(rng))
 			}
 			readOnly := rng.Float64() < ro
 			var ops []OpSpec
@@ -78,6 +90,10 @@ type GTConfig struct {
 	OpsPerTxn int
 	Dist      DistKind
 	Seed      int64
+	// Tenants splits the plan into key-disjoint session groups exactly
+	// as MTConfig.Tenants does: session s draws its keys from tenant
+	// (s mod Tenants)'s private universe of Objects keys.
+	Tenants int
 }
 
 // GenerateGT plans a GT workload with Cobra's transaction mix.
@@ -89,28 +105,33 @@ func GenerateGT(cfg GTConfig) *Workload {
 		cfg.Dist = Uniform
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	tenants := cfg.Tenants
+	if tenants <= 1 {
+		tenants = 1
+	}
 	dist := NewDist(cfg.Dist, cfg.Objects, rng)
 
-	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	w := &Workload{Keys: KeyUniverse(cfg.Objects * tenants)}
 	for s := 0; s < cfg.Sessions; s++ {
+		base := (s % tenants) * cfg.Objects // tenant key-space offset
 		txns := make([]TxnSpec, cfg.Txns)
 		for i := range txns {
 			var ops []OpSpec
 			switch p := rng.Float64(); {
 			case p < 0.2: // read-only
 				for j := 0; j < cfg.OpsPerTxn; j++ {
-					ops = append(ops, OpSpec{SpecRead, KeyName(dist.Next(rng))})
+					ops = append(ops, OpSpec{SpecRead, KeyName(base + dist.Next(rng))})
 				}
 			case p < 0.6: // write-only
 				for j := 0; j < cfg.OpsPerTxn; j++ {
-					ops = append(ops, OpSpec{SpecWrite, KeyName(dist.Next(rng))})
+					ops = append(ops, OpSpec{SpecWrite, KeyName(base + dist.Next(rng))})
 				}
 			default: // RMW: each spec contributes a read and a write
 				for j := 0; j < cfg.OpsPerTxn/2; j++ {
-					ops = append(ops, OpSpec{SpecRMW, KeyName(dist.Next(rng))})
+					ops = append(ops, OpSpec{SpecRMW, KeyName(base + dist.Next(rng))})
 				}
 				if len(ops) == 0 {
-					ops = append(ops, OpSpec{SpecRMW, KeyName(dist.Next(rng))})
+					ops = append(ops, OpSpec{SpecRMW, KeyName(base + dist.Next(rng))})
 				}
 			}
 			txns[i] = TxnSpec{Ops: ops}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"mtc/internal/history"
+)
+
+// TestTenantsKeyDisjoint: with T tenants the MT plan's sessions split
+// into T key-disjoint groups, round-robin by session index.
+func TestTenantsKeyDisjoint(t *testing.T) {
+	w := GenerateMT(MTConfig{Sessions: 8, Txns: 20, Objects: 5, Seed: 7, Tenants: 4})
+	if len(w.Keys) != 20 {
+		t.Fatalf("key universe %d, want Objects*Tenants = 20", len(w.Keys))
+	}
+	comps := w.Components()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	keysOf := make([]map[history.Key]bool, len(comps))
+	for ci, group := range comps {
+		keysOf[ci] = map[history.Key]bool{}
+		for _, si := range group {
+			if si%4 != ci {
+				t.Fatalf("session %d landed in component %d, want %d", si, ci, si%4)
+			}
+			for _, k := range w.SessionKeys([]int{si}) {
+				keysOf[ci][k] = true
+			}
+		}
+	}
+	for a := range keysOf {
+		for b := range keysOf {
+			if a >= b {
+				continue
+			}
+			for k := range keysOf[a] {
+				if keysOf[b][k] {
+					t.Fatalf("tenants %d and %d share key %s", a, b, k)
+				}
+			}
+		}
+	}
+}
+
+// TestTenantsOffByDefault: Tenants 0 or 1 reproduces the single-tenant
+// plan byte for byte (seed compatibility).
+func TestTenantsOffByDefault(t *testing.T) {
+	base := GenerateMT(MTConfig{Sessions: 3, Txns: 10, Objects: 4, Seed: 42})
+	for _, tenants := range []int{0, 1} {
+		got := GenerateMT(MTConfig{Sessions: 3, Txns: 10, Objects: 4, Seed: 42, Tenants: tenants})
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("Tenants=%d changed the plan", tenants)
+		}
+	}
+	if comps := base.Components(); len(comps) != 1 {
+		t.Fatalf("single-tenant plan has %d components, want 1", len(comps))
+	}
+}
+
+// TestTenantsGT: the GT generator shards identically.
+func TestTenantsGT(t *testing.T) {
+	w := GenerateGT(GTConfig{Sessions: 6, Txns: 15, Objects: 4, OpsPerTxn: 4, Seed: 3, Tenants: 3})
+	if len(w.Keys) != 12 {
+		t.Fatalf("key universe %d, want 12", len(w.Keys))
+	}
+	if comps := w.Components(); len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	base := GenerateGT(GTConfig{Sessions: 6, Txns: 15, Objects: 4, OpsPerTxn: 4, Seed: 3})
+	got := GenerateGT(GTConfig{Sessions: 6, Txns: 15, Objects: 4, OpsPerTxn: 4, Seed: 3, Tenants: 1})
+	if !reflect.DeepEqual(got, base) {
+		t.Fatal("Tenants=1 changed the GT plan")
+	}
+}
+
+// TestSessionKeysOrdered: SessionKeys returns keys in universe order.
+func TestSessionKeysOrdered(t *testing.T) {
+	w := GenerateMT(MTConfig{Sessions: 2, Txns: 30, Objects: 6, Seed: 9})
+	keys := w.SessionKeys([]int{0, 1})
+	pos := map[history.Key]int{}
+	for i, k := range w.Keys {
+		pos[k] = i
+	}
+	for i := 1; i < len(keys); i++ {
+		if pos[keys[i-1]] >= pos[keys[i]] {
+			t.Fatalf("SessionKeys out of universe order: %v", keys)
+		}
+	}
+}

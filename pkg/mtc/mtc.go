@@ -18,6 +18,14 @@
 // and keeps O(window) state with verdicts identical to the unbounded
 // check (Report.CompactedEpochs reports how often it compacted).
 //
+// Multi-tenant and other key-disjoint histories can be verified with
+// structural parallelism above the engine: every engine has a
+// component-sharded twin (Sharded(name), e.g. "mtc-sharded") that
+// partitions the history into key/session-disjoint components and
+// checks up to Options.Shard of them concurrently, with merged verdicts
+// identical to unsharded checking (Report.ShardComponents reports the
+// decomposition; see docs/sharding.md).
+//
 // For the HTTP service, see pkg/client.
 package mtc
 
@@ -29,6 +37,7 @@ import (
 	"mtc/internal/core"
 	"mtc/internal/graph"
 	"mtc/internal/history"
+	"mtc/internal/shard"
 )
 
 // Core history model.
@@ -84,6 +93,14 @@ func ParseLevel(s string) (Level, error) { return checker.ParseLevel(s) }
 // to 1 to force the serial paths; verdicts are identical at every
 // setting, only wall-clock changes.
 func DefaultParallelism() int { return graph.Parallelism(0) }
+
+// Sharded maps an engine name to its component-sharded twin in the
+// registry ("mtc" -> "mtc-sharded"); already-sharded names pass through.
+// The twin decomposes every history into its key/session-disjoint
+// components and checks up to Options.Shard of them concurrently through
+// the base engine, merging the per-component reports into one verdict
+// with external transaction positions preserved.
+func Sharded(name string) string { return shard.Name(name) }
 
 // Check runs the named engine from the default registry on h under ctx.
 // Cancellation stops the engine inside its hot loops; the returned error
