@@ -7,12 +7,15 @@
 //	mtc-bench -list
 //	mtc-bench -experiment fig7a [-scale 1.0]
 //	mtc-bench -experiment all   [-scale 0.5]
+//	mtc-bench -experiment table2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mtc/internal/bench"
@@ -20,9 +23,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "", "experiment id (e.g. fig7a, table2, all)")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default laptop-sized)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("experiment", "", "experiment id (e.g. fig7a, table2, all)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = default laptop-sized)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -35,6 +40,34 @@ func main() {
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "mtc-bench: -experiment required (or -list); try -experiment all")
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtc-bench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mtc-bench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-bench: memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-bench: memprofile: %v\n", err)
+				os.Exit(2)
+			}
+		}()
 	}
 	run := func(e bench.Experiment) {
 		start := time.Now()

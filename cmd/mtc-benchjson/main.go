@@ -10,7 +10,11 @@
 // baseline snapshot: every ns/op benchmark present in the baseline must
 // appear in the current run (a silent rename or a bench regex matching
 // nothing fails the build) and must not be slower than the baseline by
-// more than -tolerance (fractional; 0.25 = 25%). Regressions exit 1 so
+// more than -tolerance (fractional; 0.25 = 25%). allocs/op entries in
+// the baseline are gated too, under the tighter -alloc-tolerance —
+// allocation counts are deterministic, so a hot path quietly growing a
+// per-item allocation fails the build even when wall time hides it
+// (requires feeding `go test -benchmem` output). Regressions exit 1 so
 // the CI bench job fails. Refresh procedure: docs/ci.md.
 //
 //	go test -run '^$' -bench 'SER10k|SI10k' -benchtime 3x . \
@@ -57,6 +61,7 @@ func main() {
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit id recorded in the snapshot")
 	compare := flag.String("compare", "", "baseline snapshot to gate against (exit 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline (0.25 = 25%)")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.05, "allowed fractional allocs/op regression vs the baseline (counts are deterministic, so keep this tight)")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -119,7 +124,7 @@ func main() {
 		}
 	}
 	if *compare != "" {
-		if err := compareBaseline(*compare, snap, *tolerance); err != nil {
+		if err := compareBaseline(*compare, snap, *tolerance, *allocTolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -127,11 +132,12 @@ func main() {
 }
 
 // compareBaseline gates the current snapshot against the committed
-// baseline: every ns/op entry of the baseline must exist in cur (a
-// renamed benchmark must not silently drop out of the gate) and must
-// not regress past tolerance. Improvements and in-tolerance drift are
+// baseline: every ns/op and allocs/op entry of the baseline must exist
+// in cur (a renamed benchmark must not silently drop out of the gate)
+// and must not regress past its unit's tolerance — B/op and the custom
+// metrics stay informational. Improvements and in-tolerance drift are
 // reported but pass.
-func compareBaseline(path string, cur Snapshot, tolerance float64) error {
+func compareBaseline(path string, cur Snapshot, tolerance, allocTolerance float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -140,42 +146,50 @@ func compareBaseline(path string, cur Snapshot, tolerance float64) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", path, err)
 	}
-	current := make(map[string]float64, len(cur.Benches))
+	gated := map[string]float64{"ns/op": tolerance, "allocs/op": allocTolerance}
+	type key struct{ name, unit string }
+	current := make(map[key]float64, len(cur.Benches))
 	for _, b := range cur.Benches {
-		if b.Unit == "ns/op" {
-			current[b.Name] = b.Value
+		if _, ok := gated[b.Unit]; ok {
+			current[key{b.Name, b.Unit}] = b.Value
 		}
 	}
 	tracked, regressions, missing := 0, 0, 0
 	for _, b := range base.Benches {
-		if b.Unit != "ns/op" {
-			continue // allocation counts gate nothing: too machine-dependent
+		tol, ok := gated[b.Unit]
+		if !ok {
+			continue // B/op, peak-heap-MB: informational only
 		}
 		tracked++
-		got, ok := current[b.Name]
+		got, ok := current[key{b.Name, b.Unit}]
 		if !ok {
 			missing++
-			fmt.Fprintf(os.Stderr, "MISSING  %-40s in baseline (%.0f ns/op) but not in this run — renamed? update %s\n",
-				b.Name, b.Value, path)
+			fmt.Fprintf(os.Stderr, "MISSING  %-40s in baseline (%.0f %s) but not in this run — renamed, or -benchmem dropped? update %s\n",
+				b.Name, b.Value, b.Unit, path)
 			continue
 		}
-		ratio := got/b.Value - 1
+		ratio := 0.0
+		if b.Value > 0 {
+			ratio = got/b.Value - 1
+		} else if got > 0 {
+			ratio = 1 // zero-alloc baseline regressed to allocating
+		}
 		switch {
-		case ratio > tolerance:
+		case ratio > tol:
 			regressions++
-			fmt.Fprintf(os.Stderr, "REGRESS  %-40s %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
-				b.Name, b.Value, got, ratio*100, tolerance*100)
+			fmt.Fprintf(os.Stderr, "REGRESS  %-40s %.0f -> %.0f %s (%+.1f%%, tolerance %.0f%%)\n",
+				b.Name, b.Value, got, b.Unit, ratio*100, tol*100)
 		default:
-			fmt.Printf("ok       %-40s %.0f -> %.0f ns/op (%+.1f%%)\n", b.Name, b.Value, got, ratio*100)
+			fmt.Printf("ok       %-40s %.0f -> %.0f %s (%+.1f%%)\n", b.Name, b.Value, got, b.Unit, ratio*100)
 		}
 	}
 	if tracked == 0 {
-		return fmt.Errorf("baseline %s tracks no ns/op benchmarks", path)
+		return fmt.Errorf("baseline %s tracks no gated benchmarks", path)
 	}
 	if regressions+missing > 0 {
 		return fmt.Errorf("%d regression(s), %d missing benchmark(s) against %s (see docs/ci.md to refresh the baseline)",
 			regressions, missing, path)
 	}
-	fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s\n", tracked, tolerance*100, path)
+	fmt.Printf("bench gate: %d entries within tolerance of %s\n", tracked, path)
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mtc/internal/core"
+	"mtc/internal/graph"
 	"mtc/internal/history"
 	"mtc/internal/kv"
 	"mtc/internal/runner"
@@ -73,6 +74,29 @@ func BenchmarkIncrementalSI10k(b *testing.B) {
 			b.Fatal("valid history rejected")
 		}
 	}
+}
+
+// BenchmarkIndexedDeps10k measures pure dependency derivation over a
+// prebuilt columnar index: merge-joins over interned key columns with
+// postings lookups, no per-transaction map probes. The allocs/op this
+// reports is the point of the columnar layout — a handful of flat
+// scratch arenas per call, far below one allocation per transaction —
+// and the CI bench gate holds it there (see bench/baseline.json).
+func BenchmarkIndexedDeps10k(b *testing.B) {
+	setupBig(b)
+	ix := history.NewIndex(bigHist)
+	edges := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edges = 0
+		core.DeriveDeps(ix, func(graph.Edge) { edges++ })
+	}
+	b.StopTimer()
+	if edges == 0 {
+		b.Fatal("no dependency edges derived")
+	}
+	b.ReportMetric(float64(edges), "edges")
 }
 
 // BenchmarkIncrementalPerCommit measures the amortized cost of one Add on

@@ -50,14 +50,15 @@ func CheckSERCtx(ctx context.Context, h *history.History) (Report, error) {
 // over a bounded worker pool. par <= 0 selects GOMAXPROCS. The verdict
 // and all statistics except wall-clock are identical at every par.
 func CheckSERPar(ctx context.Context, h *history.History, par int) (Report, error) {
-	if as := history.CheckInternal(h); len(as) > 0 {
+	ix := history.NewIndex(h)
+	if as := history.CheckInternalIndexed(ix); len(as) > 0 {
 		return Report{OK: false, Anomalies: as}, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
 	start := time.Now()
-	p := polygraph.Build(h)
+	p := polygraph.BuildIndexed(ix)
 	rep := Report{Constraints: len(p.Cons), BuildTime: time.Since(start)}
 	start = time.Now()
 	ok, err := p.PrunePar(ctx, polygraph.PruneSER, par)

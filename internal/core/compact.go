@@ -43,10 +43,15 @@ type CompactStats struct {
 //
 // Everything else is provably settled under the epoch contract: no
 // future transaction reads a value written behind the frontier or
-// write-conflicts with a collapsed slot (live streams guarantee this by
-// choosing window above the store's maximum commit staleness; see
-// docs/perf.md). A contract-violating stale read parks forever and is
-// classified ThinAirRead at Finalize rather than silently mis-verified.
+// write-conflicts with a collapsed slot. Live streams establish the
+// contract exactly by declaring their sessions with ExpectSession:
+// Compact then additionally pins every slot dethroned at or after the
+// staleness horizon, so no in-flight read can lose its writer no
+// matter how the scheduler interleaves sessions with the checker.
+// Replay drivers instead pin future references explicitly (see
+// CheckIncrementalWindowed). A contract-violating stale read parks
+// forever and is classified ThinAirRead at Finalize rather than
+// silently mis-verified.
 //
 // The collapsed subgraph is proved acyclic-closed before it is freed:
 // the online order is itself a witness of acyclicity, and per-node
@@ -104,9 +109,23 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		}
 	}
 	// slotAlive: the slot (w, k) still accepts future readers or
-	// overwriters, so its participants and value entries survive.
+	// overwriters, so its participants and value entries survive. With
+	// session tracking on, a slot dethroned at or after the staleness
+	// horizon — the minimum last-ingested position across active
+	// sessions — is also alive: a transaction in flight on some session
+	// started before the dethronement reached that session's stream and
+	// may still legitimately read the slot's value.
+	horizon, track := inc.stalenessHorizon()
 	slotAlive := func(w int, k history.Key) bool {
-		return keepBase[w] || inc.latestWriter[k] == w || inc.slotRef[incWK{w, k}] >= frontier
+		if keepBase[w] || inc.latestWriter[k] == w || inc.slotRef[incWK{w, k}] >= frontier {
+			return true
+		}
+		if track {
+			if d, ok := inc.dethroned[incWK{w, k}]; ok && d >= horizon {
+				return true
+			}
+		}
+		return false
 	}
 
 	// keep: full state retained (graph node plus every map entry).
@@ -320,7 +339,7 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 			nm[v] = remap[w]
 		}
 	}
-	newFinal := make(map[int]map[history.Key]history.Value, kcount)
+	newFinal := make(map[int]writeSet, kcount)
 	for id, fw := range inc.finalWrites {
 		if keep[id] {
 			newFinal[remap[id]] = fw
@@ -351,6 +370,12 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 	newLatest := make(map[history.Key]int, len(inc.latestWriter))
 	for k, w := range inc.latestWriter {
 		newLatest[k] = remap[w]
+	}
+	newDethroned := make(map[incWK]int, len(inc.dethroned))
+	for slot, d := range inc.dethroned {
+		if slotAlive(slot.w, slot.k) {
+			newDethroned[incWK{remap[slot.w], slot.k}] = d
+		}
 	}
 	reEdge := func(e graph.Edge) graph.Edge {
 		e.From, e.To = remap[e.From], remap[e.To]
@@ -405,6 +430,7 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 	inc.overwriters = newOver
 	inc.slotRef = newSlotRef
 	inc.latestWriter = newLatest
+	inc.dethroned = newDethroned
 	inc.baseIn = newBaseIn
 	inc.rwOut = newRWOut
 	inc.witness = newWitness

@@ -114,25 +114,6 @@ type Options struct {
 	Parallelism int
 }
 
-// txnView caches the per-transaction read/write summaries so that graph
-// construction does not recompute them.
-type txnView struct {
-	reads  map[history.Key]history.Value
-	writes map[history.Key]history.Value
-}
-
-func buildViews(h *history.History) []txnView {
-	views := make([]txnView, len(h.Txns))
-	for i := range h.Txns {
-		t := &h.Txns[i]
-		if !t.Committed {
-			continue
-		}
-		views[i] = txnView{reads: t.Reads(), writes: t.Writes()}
-	}
-	return views
-}
-
 // BuildDependency constructs the dependency graph of an MT history
 // following the optimized Algorithm 1: WR edges are fixed by unique
 // values, WW edges are inferred from WR when the reader also writes the
@@ -144,19 +125,21 @@ func buildViews(h *history.History) []txnView {
 // inferring WW edges; CheckSI uses it for its early exit, and the other
 // checkers ignore it (Lemma 3 handles those cases through cycles).
 func BuildDependency(h *history.History, withRT bool) (*graph.Graph, []Divergence) {
-	g, divs, _ := buildDependencyCtx(context.Background(), h, withRT, 1)
+	g, divs, _ := buildDependencyCtx(context.Background(), history.NewIndex(h), withRT, 1)
 	return g, divs
 }
 
-// buildDependencyCtx is BuildDependency polling ctx between batches of
-// transactions (and real-time pairs), so construction of large graphs
-// stops promptly under a deadline. par bounds the worker pool of the
-// dense real-time enumeration (<= 0 means GOMAXPROCS, 1 is serial); the
+// buildDependencyCtx is BuildDependency over a prebuilt columnar index,
+// polling ctx between batches of transactions (and real-time pairs) so
+// construction of large graphs stops promptly under a deadline. The
+// WR/WW/RW loops are the merge-join derivation of DeriveDeps (see
+// derive.go); the graph it emits is edge-for-edge identical to the
+// historical map-based builder. par bounds the worker pool of the dense
+// real-time enumeration (<= 0 means GOMAXPROCS, 1 is serial); the
 // constructed graph is identical at every setting.
-func buildDependencyCtx(ctx context.Context, h *history.History, withRT bool, par int) (g *graph.Graph, divs []Divergence, err error) {
-	views := buildViews(h)
-	idx, _ := history.BuildWriterIndex(h)
-	g = graph.New(len(h.Txns))
+func buildDependencyCtx(ctx context.Context, ix *history.Index, withRT bool, par int) (*graph.Graph, []Divergence, error) {
+	h := ix.History()
+	g := graph.New(len(h.Txns))
 
 	if withRT {
 		if err := addDenseRT(ctx, h, g, par); err != nil {
@@ -166,77 +149,9 @@ func buildDependencyCtx(ctx context.Context, h *history.History, withRT bool, pa
 	h.SessionOrder(func(a, b int) {
 		g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.SO})
 	})
-
-	// WR and inferred WW edges, grouped by writer for RW derivation.
-	// wrOut[w] lists (key, reader); wwOut[w] lists (key, overwriter).
-	type dep struct {
-		key history.Key
-		to  int
-	}
-	wrOut := make([][]dep, len(h.Txns))
-	wwOut := make([][]dep, len(h.Txns))
-	// divSeen tracks, per (writer,key), the first RMW reader, to report
-	// divergence when a second one appears.
-	type wk struct {
-		w int
-		k history.Key
-	}
-	firstRMW := make(map[wk]int)
-
-	for s := range h.Txns {
-		if s&1023 == 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, nil, cerr
-			}
-		}
-		if !h.Txns[s].Committed {
-			continue
-		}
-		// Deterministic key order for reproducible graphs.
-		keys := make([]history.Key, 0, len(views[s].reads))
-		for x := range views[s].reads {
-			keys = append(keys, x)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, x := range keys {
-			v := views[s].reads[x]
-			w := idx.Writer(x, v)
-			if w < 0 || w == s {
-				continue // pre-check reports these; stay robust here
-			}
-			g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WR, Obj: string(x)})
-			wrOut[w] = append(wrOut[w], dep{key: x, to: s})
-			if _, writes := views[s].writes[x]; writes {
-				g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WW, Obj: string(x)})
-				wwOut[w] = append(wwOut[w], dep{key: x, to: s})
-				if prev, ok := firstRMW[wk{w, x}]; ok {
-					divs = append(divs, Divergence{Key: x, Writer: w, Reader1: prev, Reader2: s})
-				} else {
-					firstRMW[wk{w, x}] = s
-				}
-			}
-		}
-	}
-
-	// RW edges: T' -WR(x)-> T and T' -WW(x)-> S with T != S gives
-	// T -RW(x)-> S (lines 14-15 of BuildDependency).
-	for w := range h.Txns {
-		if w&1023 == 0 {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, nil, cerr
-			}
-		}
-		if len(wrOut[w]) == 0 || len(wwOut[w]) == 0 {
-			continue
-		}
-		for _, r := range wrOut[w] {
-			for _, o := range wwOut[w] {
-				if o.key != r.key || o.to == r.to {
-					continue
-				}
-				g.AddEdge(graph.Edge{From: r.to, To: o.to, Kind: graph.RW, Obj: string(r.key)})
-			}
-		}
+	divs, err := deriveDeps(ctx, ix, g.AddEdge)
+	if err != nil {
+		return nil, nil, err
 	}
 	return g, divs, nil
 }
@@ -284,14 +199,16 @@ func addDenseRT(ctx context.Context, h *history.History, g *graph.Graph, par int
 	})
 }
 
-// preCheck runs CheckInternal unless disabled, returning a failed Result
-// or nil.
-func preCheck(h *history.History, lvl Level, opts Options) *Result {
+// preCheck runs the indexed CheckInternal unless disabled, returning a
+// failed Result or nil. The index is shared with graph construction, so
+// one columnar build serves both the pre-check and the edge derivation
+// (the map-based pipeline built its writer index twice).
+func preCheck(ix *history.Index, lvl Level, opts Options) *Result {
 	if opts.SkipPreCheck {
 		return nil
 	}
-	if as := history.CheckInternal(h); len(as) > 0 {
-		return &Result{Level: lvl, OK: false, Anomalies: as, NumTxns: len(h.Txns)}
+	if as := history.CheckInternalIndexed(ix); len(as) > 0 {
+		return &Result{Level: lvl, OK: false, Anomalies: as, NumTxns: ix.NumTxns()}
 	}
 	return nil
 }
@@ -313,10 +230,11 @@ func CheckSERCtx(ctx context.Context, h *history.History, opts Options) (Result,
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if r := preCheck(h, SER, opts); r != nil {
+	ix := history.NewIndex(h)
+	if r := preCheck(ix, SER, opts); r != nil {
 		return *r, nil
 	}
-	g, _, err := buildDependencyCtx(ctx, h, false, opts.Parallelism)
+	g, _, err := buildDependencyCtx(ctx, ix, false, opts.Parallelism)
 	if err != nil {
 		return Result{}, err
 	}
@@ -350,19 +268,20 @@ func CheckSSERCtx(ctx context.Context, h *history.History, opts Options) (Result
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if r := preCheck(h, SSER, opts); r != nil {
+	ix := history.NewIndex(h)
+	if r := preCheck(ix, SSER, opts); r != nil {
 		return *r, nil
 	}
 	var g *graph.Graph
 	if opts.SparseRT {
-		base, _, err := buildDependencyCtx(ctx, h, false, opts.Parallelism)
+		base, _, err := buildDependencyCtx(ctx, ix, false, opts.Parallelism)
 		if err != nil {
 			return Result{}, err
 		}
 		g = addSparseRT(h, base, opts.Parallelism)
 	} else {
 		var err error
-		g, _, err = buildDependencyCtx(ctx, h, true, opts.Parallelism)
+		g, _, err = buildDependencyCtx(ctx, ix, true, opts.Parallelism)
 		if err != nil {
 			return Result{}, err
 		}
@@ -396,10 +315,11 @@ func CheckSICtx(ctx context.Context, h *history.History, opts Options) (Result, 
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if r := preCheck(h, SI, opts); r != nil {
+	ix := history.NewIndex(h)
+	if r := preCheck(ix, SI, opts); r != nil {
 		return *r, nil
 	}
-	g, divs, err := buildDependencyCtx(ctx, h, false, opts.Parallelism)
+	g, divs, err := buildDependencyCtx(ctx, ix, false, opts.Parallelism)
 	if err != nil {
 		return Result{}, err
 	}

@@ -51,7 +51,7 @@ type Incremental struct {
 
 	writers     map[history.Key]map[history.Value]int // committed writer index
 	abortedW    map[history.Key]map[history.Value]int
-	finalWrites map[int]map[history.Key]history.Value // committed txn -> final writes
+	finalWrites map[int]writeSet // committed txn -> final writes, key-sorted
 
 	pending     map[history.Op][]int // unresolved first external reads -> reader IDs
 	readers     map[incWK][]int      // (writer, key) -> readers of the writer's value
@@ -67,6 +67,18 @@ type Incremental struct {
 	compactTxns   int
 	compactEpoch  int
 	lastCompactAt int // NumTxns at the last MaybeCompact-triggered compaction
+
+	// Session-staleness horizon (live streams only; see ExpectSession).
+	// A transaction in flight on session s started after s's previous
+	// record was published, so it can only read values that were still
+	// each key's latest at s's last ingested position. Compact therefore
+	// pins every slot dethroned at or after the minimum such position
+	// across active sessions, making windowed verdicts of clean stores
+	// exact under any scheduling instead of contingent on the window
+	// outrunning the stream's commit-to-ingest skew.
+	activeSessions map[int]bool  // sessions still publishing
+	lastSeen       map[int]int   // session -> NumTxns at its last record
+	dethroned      map[incWK]int // slot -> NumTxns when it stopped being latest
 
 	// SI-only state: the online order tracks the composed graph
 	// (SO ∪ WR ∪ WW) ; RW?, so base and RW adjacency is kept separately
@@ -86,21 +98,24 @@ func NewIncremental(lvl Level) *Incremental {
 		panic(fmt.Sprintf("core: incremental checker supports SER and SI, not %q", lvl))
 	}
 	return &Incremental{
-		lvl:           lvl,
-		topo:          graph.NewOnline(),
-		initID:        -1,
-		lastInSession: make(map[int]int),
-		writers:       make(map[history.Key]map[history.Value]int),
-		abortedW:      make(map[history.Key]map[history.Value]int),
-		finalWrites:   make(map[int]map[history.Key]history.Value),
-		pending:       make(map[history.Op][]int),
-		readers:       make(map[incWK][]int),
-		overwriters:   make(map[incWK][]int),
-		latestWriter:  make(map[history.Key]int),
-		slotRef:       make(map[incWK]int),
-		baseIn:        make(map[int][]graph.Edge),
-		rwOut:         make(map[int][]graph.Edge),
-		witness:       make(map[composedKey][]graph.Edge),
+		lvl:            lvl,
+		topo:           graph.NewOnline(),
+		initID:         -1,
+		lastInSession:  make(map[int]int),
+		writers:        make(map[history.Key]map[history.Value]int),
+		abortedW:       make(map[history.Key]map[history.Value]int),
+		finalWrites:    make(map[int]writeSet),
+		pending:        make(map[history.Op][]int),
+		readers:        make(map[incWK][]int),
+		overwriters:    make(map[incWK][]int),
+		latestWriter:   make(map[history.Key]int),
+		slotRef:        make(map[incWK]int),
+		activeSessions: make(map[int]bool),
+		lastSeen:       make(map[int]int),
+		dethroned:      make(map[incWK]int),
+		baseIn:         make(map[int][]graph.Edge),
+		rwOut:          make(map[int][]graph.Edge),
+		witness:        make(map[composedKey][]graph.Edge),
 	}
 }
 
@@ -142,6 +157,116 @@ type incWK struct {
 	k history.Key
 }
 
+// writeSet is a transaction's final-write footprint as a key-sorted
+// slice: the allocation-light replacement for the per-Add
+// map[Key]Value (one backing array instead of a hash table per
+// transaction). It is immutable once built, so Compact can remap it by
+// reference.
+type writeSet []struct {
+	k history.Key
+	v history.Value
+}
+
+// get returns the final value written to k, if any.
+func (ws writeSet) get(k history.Key) (history.Value, bool) {
+	lo, hi := 0, len(ws)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ws[mid].k < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ws) && ws[lo].k == k {
+		return ws[lo].v, true
+	}
+	return 0, false
+}
+
+// has reports whether the set writes k.
+func (ws writeSet) has(k history.Key) bool {
+	_, ok := ws.get(k)
+	return ok
+}
+
+// makeWriteSet collects the final write per key of ops into a sorted
+// writeSet. Transactions write at most a couple of keys (only ⊥T is
+// wide), so the last-wins dedup and insertion sort stay linear-ish
+// without any hashing.
+func makeWriteSet(ops []history.Op) writeSet {
+	var ws writeSet
+	for _, op := range ops {
+		if op.Kind != history.OpWrite {
+			continue
+		}
+		found := false
+		for i := range ws {
+			if ws[i].k == op.Key {
+				ws[i].v = op.Value // last write wins
+				found = true
+				break
+			}
+		}
+		if !found {
+			ws = append(ws, struct {
+				k history.Key
+				v history.Value
+			}{op.Key, op.Value})
+		}
+	}
+	for i := 1; i < len(ws); i++ {
+		e := ws[i]
+		j := i - 1
+		for j >= 0 && ws[j].k > e.k {
+			ws[j+1] = ws[j]
+			j--
+		}
+		ws[j+1] = e
+	}
+	return ws
+}
+
+// ExpectSession declares that session s is live and will keep
+// publishing transactions. While any expected session remains active,
+// Compact pins every writer slot whose value was still its key's
+// latest at the session's last ingested record — the values the
+// session's in-flight transaction may legitimately read — so a
+// windowed live stream never mis-parks a read merely because its
+// record arrived late. Call it once per session before the stream
+// starts (drivers replaying a complete history need not bother: they
+// pin future references explicitly instead). Memory stays bounded as
+// long as every expected session keeps publishing or is retired with
+// EndSession; a session that stalls forever stalls the horizon with
+// it, which is inherent — its in-flight reads stay unresolved.
+func (inc *Incremental) ExpectSession(s int) {
+	inc.activeSessions[s] = true
+	if _, ok := inc.lastSeen[s]; !ok {
+		inc.lastSeen[s] = 0
+	}
+}
+
+// EndSession declares that session s has published its last record,
+// releasing its hold on the staleness horizon.
+func (inc *Incremental) EndSession(s int) {
+	delete(inc.activeSessions, s)
+}
+
+// stalenessHorizon returns the minimum last-ingested position across
+// active sessions, and whether horizon tracking is on at all.
+func (inc *Incremental) stalenessHorizon() (int, bool) {
+	if len(inc.activeSessions) == 0 {
+		return 0, false
+	}
+	h := int(^uint(0) >> 1)
+	for s := range inc.activeSessions {
+		if p := inc.lastSeen[s]; p < h {
+			h = p
+		}
+	}
+	return h, true
+}
+
 // InitTxn installs the initial transaction ⊥T writing value 0 to each
 // key, as transaction 0. It must be called before any Add.
 func (inc *Incremental) InitTxn(keys ...history.Key) *Result {
@@ -173,6 +298,9 @@ func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
 	id := inc.topo.AddNode()
 	inc.ext = append(inc.ext, inc.n)
 	inc.n++
+	if !isInit && inc.activeSessions[t.Session] {
+		inc.lastSeen[t.Session] = inc.n
+	}
 	if !t.Committed {
 		for _, op := range t.Ops {
 			if op.Kind != history.OpWrite {
@@ -203,8 +331,7 @@ func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
 	// Register this transaction's committed writes first: its own reads
 	// must resolve against them (and be skipped, as in the batch builder),
 	// and unique-value violations surface here.
-	finals := (&t).Writes()
-	inc.finalWrites[id] = finals
+	inc.finalWrites[id] = makeWriteSet(t.Ops)
 	for _, op := range t.Ops {
 		if op.Kind != history.OpWrite {
 			continue
@@ -220,6 +347,9 @@ func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
 			}})
 		}
 		m[op.Value] = id
+		if prev, ok := inc.latestWriter[op.Key]; ok && prev != id {
+			inc.dethroned[incWK{prev, op.Key}] = inc.n
+		}
 		inc.latestWriter[op.Key] = id
 	}
 
@@ -249,72 +379,87 @@ func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
 
 // walkOps classifies every operation of committed transaction id in
 // program order, replicating history.checkTxnInternal, and derives the
-// dependency edges of its first external reads.
+// dependency edges of its first external reads. Like the batch
+// pre-check it scans the transaction's own (tiny) operation list
+// instead of building per-transaction maps, so the per-commit hot path
+// does not allocate for the classification itself.
 func (inc *Incremental) walkOps(id int, ops []history.Op) *Result {
 	anomaly := func(kind history.AnomalyKind, op history.Op) *Result {
 		return inc.fail(Result{Level: inc.lvl, Anomalies: []history.Anomaly{
 			{Kind: kind, Txn: id, Key: op.Key, Value: op.Value},
 		}})
 	}
-	lastWrite := map[history.Key]history.Value{}
-	wroteValues := map[history.Op]bool{}
-	futureWrites := map[history.Op]int{}
-	firstExtRead := map[history.Key]history.Value{}
-	for _, op := range ops {
-		if op.Kind == history.OpWrite {
-			futureWrites[history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}]++
+	for i, op := range ops {
+		if op.Kind != history.OpRead {
+			continue
 		}
-	}
-	for _, op := range ops {
-		switch op.Kind {
-		case history.OpWrite:
-			w := history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}
-			lastWrite[op.Key] = op.Value
-			wroteValues[w] = true
-			if futureWrites[w]--; futureWrites[w] == 0 {
-				delete(futureWrites, w)
+		// Last own write to the key before this read, if any: the INT
+		// branches.
+		lastV, wrote := history.Value(0), false
+		for j := i - 1; j >= 0; j-- {
+			if ops[j].Kind == history.OpWrite && ops[j].Key == op.Key {
+				lastV, wrote = ops[j].Value, true
+				break
 			}
-		case history.OpRead:
-			if v, wrote := lastWrite[op.Key]; wrote {
-				if op.Value == v {
-					continue
-				}
-				if wroteValues[history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}] {
+		}
+		if wrote {
+			if op.Value == lastV {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if ops[j].Kind == history.OpWrite && ops[j].Key == op.Key && ops[j].Value == op.Value {
 					return anomaly(history.NotMyLastWrite, op)
 				}
-				return anomaly(history.NotMyOwnWrite, op)
 			}
-			if prev, seen := firstExtRead[op.Key]; seen {
-				if prev != op.Value {
-					return anomaly(history.NonRepeatableReads, op)
-				}
-				continue
-			}
-			firstExtRead[op.Key] = op.Value
-			if futureWrites[history.Op{Kind: history.OpWrite, Key: op.Key, Value: op.Value}] > 0 {
-				return anomaly(history.FutureRead, op)
-			}
-			w := -1
-			if m, ok := inc.writers[op.Key]; ok {
-				if id2, ok := m[op.Value]; ok {
-					w = id2
-				}
-			}
-			if w == id {
-				continue // own write, already validated by the INT branches
-			}
-			if w >= 0 {
-				if vio := inc.resolveRead(id, w, op.Key, op.Value); vio != nil {
-					return vio
-				}
-				continue
-			}
-			// Writer unseen: park. AbortedRead / ThinAirRead can only be
-			// told apart once the stream ends (the writer may still
-			// commit), so classification waits for Finalize.
-			k := history.Op{Kind: history.OpRead, Key: op.Key, Value: op.Value}
-			inc.pending[k] = append(inc.pending[k], id)
+			return anomaly(history.NotMyOwnWrite, op)
 		}
+		// Repeated external read (any earlier read of the key is external
+		// too, since no own write precedes this one): must agree with the
+		// first, and only the first derives edges.
+		repeated, mismatch := false, false
+		for j := 0; j < i; j++ {
+			if ops[j].Kind == history.OpRead && ops[j].Key == op.Key {
+				repeated = true
+				mismatch = ops[j].Value != op.Value
+				break
+			}
+		}
+		if repeated {
+			if mismatch {
+				return anomaly(history.NonRepeatableReads, op)
+			}
+			continue
+		}
+		future := false
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].Kind == history.OpWrite && ops[j].Key == op.Key && ops[j].Value == op.Value {
+				future = true
+				break
+			}
+		}
+		if future {
+			return anomaly(history.FutureRead, op)
+		}
+		w := -1
+		if m, ok := inc.writers[op.Key]; ok {
+			if id2, ok := m[op.Value]; ok {
+				w = id2
+			}
+		}
+		if w == id {
+			continue // own write, already validated by the INT branches
+		}
+		if w >= 0 {
+			if vio := inc.resolveRead(id, w, op.Key, op.Value); vio != nil {
+				return vio
+			}
+			continue
+		}
+		// Writer unseen: park. AbortedRead / ThinAirRead can only be
+		// told apart once the stream ends (the writer may still
+		// commit), so classification waits for Finalize.
+		k := history.Op{Kind: history.OpRead, Key: op.Key, Value: op.Value}
+		inc.pending[k] = append(inc.pending[k], id)
 	}
 	return nil
 }
@@ -325,7 +470,7 @@ func (inc *Incremental) walkOps(id int, ops []history.Op) *Result {
 // anti-dependencies against the other readers and overwriters of w's
 // value.
 func (inc *Incremental) resolveRead(r, w int, key history.Key, val history.Value) *Result {
-	if last, ok := inc.finalWrites[w][key]; ok && last != val {
+	if last, ok := inc.finalWrites[w].get(key); ok && last != val {
 		return inc.fail(Result{Level: inc.lvl, Anomalies: []history.Anomaly{
 			{Kind: history.IntermediateRead, Txn: r, Key: key, Value: val},
 		}})
@@ -345,7 +490,7 @@ func (inc *Incremental) resolveRead(r, w int, key history.Key, val history.Value
 		}
 	}
 	inc.readers[slot] = append(inc.readers[slot], r)
-	if _, writes := inc.finalWrites[r][key]; !writes {
+	if !inc.finalWrites[r].has(key) {
 		return nil
 	}
 	// r is an RMW overwriter of (w, key).

@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"mtc/internal/core"
+	"mtc/internal/faults"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/runner"
+	"mtc/internal/workload"
+)
+
+// ndjsonSource round-trips a history through the streaming codec and
+// returns a TxnSource positioned at its first record.
+func ndjsonSource(t *testing.T, h *history.History) core.TxnSource {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := history.WriteNDJSON(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := history.NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestCheckStreamMatchesBatch: verifying an NDJSON capture transaction
+// by transaction decides the same predicate as the batch checker, on
+// clean and faulty histories alike.
+func TestCheckStreamMatchesBatch(t *testing.T) {
+	bug := faults.BugByName("mariadb-galera-10.7.3")
+	for seed := int64(1); seed <= 25; seed++ {
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 3, Txns: 8, Objects: 3,
+			Dist: workload.Uniform, Seed: seed, ReadOnlyFrac: 0.25,
+		})
+		for _, mk := range []func() *kv.Store{
+			func() *kv.Store { return kv.NewStore(kv.ModeSI) },
+			func() *kv.Store { return bug.NewStore(seed) },
+		} {
+			h := runner.Run(mk(), w, runner.Config{Retries: 2}).H
+			for _, lvl := range []core.Level{core.SER, core.SI} {
+				batch := core.Check(h, lvl)
+				stream := core.CheckStream(ndjsonSource(t, h), lvl, 0)
+				if batch.OK != stream.OK {
+					t.Fatalf("seed %d/%s: batch OK=%v, stream OK=%v\nbatch: %s\nstream: %s",
+						seed, lvl, batch.OK, stream.OK, batch.Explain(), stream.Explain())
+				}
+				if batch.OK && batch.NumEdges != stream.NumEdges {
+					t.Fatalf("seed %d/%s: accepted but edges diverge: batch %d, stream %d",
+						seed, lvl, batch.NumEdges, stream.NumEdges)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckStreamWindowed: a windowed stream check compacts as it goes
+// and still accepts the clean capture — the header's declared sessions
+// arm the staleness horizon, so the verdict does not depend on how the
+// capture's commit-to-ingest skew compares with the window. The capture
+// comes from RunStream, whose history is assembled in publish order:
+// the horizon's exactness guarantee covers exactly such
+// ingestion-ordered captures (runner.Run groups records by session, so
+// its files replay correctly only with window 0 or a window exceeding
+// the session skew).
+func TestCheckStreamWindowed(t *testing.T) {
+	for _, lvl := range []core.Level{core.SER, core.SI} {
+		mode := kv.ModeSI
+		if lvl == core.SER {
+			mode = kv.ModeSerializable
+		}
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 4, Txns: 60, Objects: 6,
+			Dist: workload.Uniform, Seed: 7, ReadOnlyFrac: 0.25,
+		})
+		h := runner.RunStream(context.Background(), kv.NewStore(mode), w, runner.Config{Retries: 3}, lvl).H
+		r := core.CheckStream(ndjsonSource(t, h), lvl, 32)
+		if !r.OK {
+			t.Fatalf("%s: clean windowed stream rejected: %s", lvl, r.Explain())
+		}
+		if r.CompactedEpochs == 0 || r.CompactedTxns == 0 {
+			t.Fatalf("%s: no compaction happened (epochs %d, txns %d)", lvl, r.CompactedEpochs, r.CompactedTxns)
+		}
+	}
+}
+
+// failingSource yields one transaction then a codec error.
+type failingSource struct{ n int }
+
+func (f *failingSource) Next() (history.Txn, error) {
+	if f.n == 0 {
+		f.n++
+		return history.Txn{ID: 0, Session: 0, Committed: true}, nil
+	}
+	return history.Txn{}, errors.New("disk gremlin")
+}
+
+func TestCheckStreamPropagatesSourceError(t *testing.T) {
+	_, err := core.CheckStreamCtx(context.Background(), &failingSource{}, core.SI, 0, 0)
+	if err == nil || err.Error() != "disk gremlin" {
+		t.Fatalf("source error not propagated: %v", err)
+	}
+}

@@ -303,21 +303,21 @@ func CheckRWRegister(h *history.History, lvl Level) Report {
 // meaningful when the error is nil.
 func CheckRWRegisterCtx(ctx context.Context, h *history.History, lvl Level) (Report, error) {
 	rep := Report{Level: lvl}
-	if as := history.CheckInternal(h); len(as) > 0 {
+	ix := history.NewIndex(h)
+	if as := history.CheckInternalIndexed(ix); len(as) > 0 {
 		rep.Reason = as[0].String()
 		return rep, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
-	idx, _ := history.BuildWriterIndex(h)
 	g := graph.New(len(h.Txns))
 	h.SessionOrder(func(a, b int) {
 		g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.SO})
 	})
 	type wk struct {
 		w int
-		k history.Key
+		k history.KeyID
 	}
 	readers := map[wk][]int{}
 	rmwSucc := map[wk][]int{} // divergence yields several successors
@@ -327,21 +327,16 @@ func CheckRWRegisterCtx(ctx context.Context, h *history.History, lvl Level) (Rep
 				return Report{}, err
 			}
 		}
-		t := &h.Txns[s]
-		if !t.Committed {
-			continue
-		}
-		reads := t.Reads()
-		writes := t.Writes()
-		for x, v := range reads {
-			w := idx.Writer(x, v)
+		rk, rv := ix.Reads(s) // empty for aborted transactions
+		for i, x := range rk {
+			w := ix.Writer(x, rv[i])
 			if w < 0 || w == s {
 				continue
 			}
-			g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WR, Obj: string(x)})
+			g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WR, Obj: string(ix.KeyName(x))})
 			readers[wk{w, x}] = append(readers[wk{w, x}], s)
-			if _, ok := writes[x]; ok {
-				g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WW, Obj: string(x)})
+			if _, ok := ix.WriteVal(s, x); ok {
+				g.AddEdge(graph.Edge{From: w, To: s, Kind: graph.WW, Obj: string(ix.KeyName(x))})
 				rmwSucc[wk{w, x}] = append(rmwSucc[wk{w, x}], s)
 			}
 		}
@@ -350,13 +345,13 @@ func CheckRWRegisterCtx(ctx context.Context, h *history.History, lvl Level) (Rep
 		if lvl == SI && len(succs) > 1 {
 			// Two transactions updated the same version: a lost update,
 			// which SI forbids regardless of the composition graph.
-			rep.Reason = fmt.Sprintf("diverging updates of T%d on %s (lost update)", key.w, key.k)
+			rep.Reason = fmt.Sprintf("diverging updates of T%d on %s (lost update)", key.w, ix.KeyName(key.k))
 			return rep, nil
 		}
 		for _, succ := range succs {
 			for _, r := range readers[key] {
 				if r != succ {
-					g.AddEdge(graph.Edge{From: r, To: succ, Kind: graph.RW, Obj: string(key.k)})
+					g.AddEdge(graph.Edge{From: r, To: succ, Kind: graph.RW, Obj: string(ix.KeyName(key.k))})
 				}
 			}
 		}

@@ -103,128 +103,127 @@ func (a Anomaly) String() string {
 // Only committed transactions are inspected for read anomalies; writes of
 // aborted transactions matter only as AbortedRead sources.
 func CheckInternal(h *History) []Anomaly {
-	idx, dups := BuildWriterIndex(h)
+	return CheckInternalIndexed(NewIndex(h))
+}
+
+// CheckInternalIndexed is CheckInternal over a prebuilt columnar index,
+// so one index build serves both the pre-check and graph construction.
+// The per-transaction walk classifies each read by scanning the
+// transaction's own operation list (mini-transactions hold at most four
+// operations, and the wide init transaction is write-only, so the scans
+// never degenerate) and answers every external question — writer,
+// writer's final value, aborted writers — from the index's postings, so
+// the pass performs no per-transaction allocation.
+func CheckInternalIndexed(ix *Index) []Anomaly {
+	h := ix.History()
 	var out []Anomaly
-	for _, op := range dups {
-		out = append(out, Anomaly{Kind: DuplicateWrite, Key: op.Key, Value: op.Value, Txn: idx.Writer(op.Key, op.Value)})
+	for _, op := range ix.Dups() {
+		out = append(out, Anomaly{Kind: DuplicateWrite, Key: op.Key, Value: op.Value, Txn: ix.WriterByName(op.Key, op.Value)})
 	}
-
-	// Index of values written by aborted transactions, for G1a.
-	aborted := make(map[Key]map[Value]int)
-	for i := range h.Txns {
-		t := &h.Txns[i]
-		if t.Committed {
-			continue
-		}
-		for _, op := range t.Ops {
-			if op.Kind != OpWrite {
-				continue
-			}
-			m := aborted[op.Key]
-			if m == nil {
-				m = make(map[Value]int)
-				aborted[op.Key] = m
-			}
-			m[op.Value] = i
-		}
-	}
-
-	// Cache each committed transaction's final write map: G1b checks
-	// consult the writer's map per read, and rebuilding it per read is
-	// quadratic against wide transactions like ⊥T.
-	finalWrites := make([]map[Key]Value, len(h.Txns))
-	writesOf := func(id int) map[Key]Value {
-		if finalWrites[id] == nil {
-			finalWrites[id] = h.Txns[id].Writes()
-		}
-		return finalWrites[id]
-	}
-
 	for i := range h.Txns {
 		t := &h.Txns[i]
 		if !t.Committed {
 			continue
 		}
-		out = append(out, checkTxnInternal(idx, aborted, writesOf, t)...)
+		out = checkTxnInternal(ix, t, out)
 	}
 	return out
 }
 
-// checkTxnInternal walks one transaction's operations in program order,
-// classifying each read.
-func checkTxnInternal(idx WriterIndex, aborted map[Key]map[Value]int, writesOf func(int) map[Key]Value, t *Txn) []Anomaly {
-	var out []Anomaly
-	lastWrite := map[Key]Value{}    // last value this txn wrote per key
-	wroteValues := map[Op]bool{}    // every (key,value) this txn wrote so far
-	futureWrites := map[Op]int{}    // writes later in program order -> count
-	firstExtRead := map[Key]Value{} // first external read per key
-	for _, op := range t.Ops {
-		if op.Kind == OpWrite {
-			futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}]++
+// writesBefore reports whether ops[:end] writes (key, val), and
+// separately the last value any of them wrote to key.
+func writesBefore(ops []Op, end int, key Key) (last Value, wrote bool) {
+	for i := end - 1; i >= 0; i-- {
+		if ops[i].Kind == OpWrite && ops[i].Key == key {
+			return ops[i].Value, true
 		}
 	}
-	for _, op := range t.Ops {
-		switch op.Kind {
-		case OpWrite:
-			lastWrite[op.Key] = op.Value
-			wroteValues[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] = true
-			futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}]--
-			if futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] == 0 {
-				delete(futureWrites, Op{Kind: OpWrite, Key: op.Key, Value: op.Value})
-			}
-		case OpRead:
-			if v, wrote := lastWrite[op.Key]; wrote {
-				// The transaction has already written the object: INT
-				// requires the read to return the last such write.
-				if op.Value == v {
-					continue
-				}
-				if wroteValues[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] {
-					out = append(out, Anomaly{Kind: NotMyLastWrite, Txn: t.ID, Key: op.Key, Value: op.Value})
-				} else {
-					out = append(out, Anomaly{Kind: NotMyOwnWrite, Txn: t.ID, Key: op.Key, Value: op.Value})
-				}
+	return 0, false
+}
+
+// checkTxnInternal walks one transaction's operations in program order,
+// classifying each read, and appends the anomalies found to out.
+func checkTxnInternal(ix *Index, t *Txn, out []Anomaly) []Anomaly {
+	ops := t.Ops
+	for i, op := range ops {
+		if op.Kind != OpRead {
+			continue
+		}
+		if v, wrote := writesBefore(ops, i, op.Key); wrote {
+			// The transaction has already written the object: INT
+			// requires the read to return the last such write.
+			if op.Value == v {
 				continue
 			}
-			// External read (no own write yet). Repeated external reads of
-			// the same object must agree.
-			if prev, seen := firstExtRead[op.Key]; seen {
-				if prev != op.Value {
+			mine := false
+			for j := 0; j < i; j++ {
+				if ops[j].Kind == OpWrite && ops[j].Key == op.Key && ops[j].Value == op.Value {
+					mine = true
+					break
+				}
+			}
+			if mine {
+				out = append(out, Anomaly{Kind: NotMyLastWrite, Txn: t.ID, Key: op.Key, Value: op.Value})
+			} else {
+				out = append(out, Anomaly{Kind: NotMyOwnWrite, Txn: t.ID, Key: op.Key, Value: op.Value})
+			}
+			continue
+		}
+		// External read (no own write yet). Repeated external reads of
+		// the same object must agree; only the first is classified. Any
+		// earlier read of the key is necessarily external too (no write
+		// to the key precedes this one, hence none precedes it).
+		repeated := false
+		for j := 0; j < i; j++ {
+			if ops[j].Kind == OpRead && ops[j].Key == op.Key {
+				if ops[j].Value != op.Value {
 					out = append(out, Anomaly{Kind: NonRepeatableReads, Txn: t.ID, Key: op.Key, Value: op.Value})
 				}
-				continue
+				repeated = true
+				break
 			}
-			firstExtRead[op.Key] = op.Value
-			// A read of a value this transaction writes later is a
-			// FutureRead, checked before external matching so that
-			// single-transaction histories classify correctly.
-			if futureWrites[Op{Kind: OpWrite, Key: op.Key, Value: op.Value}] > 0 {
-				out = append(out, Anomaly{Kind: FutureRead, Txn: t.ID, Key: op.Key, Value: op.Value})
-				continue
-			}
-			writer := idx.Writer(op.Key, op.Value)
-			if writer == t.ID {
-				// Reading an own write that already happened is handled by
-				// the lastWrite branch; reaching here means the writer
-				// index matched this transaction but program order did
-				// not, which the FutureRead branch covers. Defensive only.
-				continue
-			}
-			if writer >= 0 {
-				// Reads of a non-final value of the writer are G1b.
-				if last, ok := writesOf(writer)[op.Key]; ok && last != op.Value {
-					out = append(out, Anomaly{Kind: IntermediateRead, Txn: t.ID, Key: op.Key, Value: op.Value})
-				}
-				continue
-			}
-			if m, ok := aborted[op.Key]; ok {
-				if _, ok := m[op.Value]; ok {
-					out = append(out, Anomaly{Kind: AbortedRead, Txn: t.ID, Key: op.Key, Value: op.Value})
-					continue
-				}
-			}
-			out = append(out, Anomaly{Kind: ThinAirRead, Txn: t.ID, Key: op.Key, Value: op.Value})
 		}
+		if repeated {
+			continue
+		}
+		// A read of a value this transaction writes later is a
+		// FutureRead, checked before external matching so that
+		// single-transaction histories classify correctly.
+		future := false
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].Kind == OpWrite && ops[j].Key == op.Key && ops[j].Value == op.Value {
+				future = true
+				break
+			}
+		}
+		if future {
+			out = append(out, Anomaly{Kind: FutureRead, Txn: t.ID, Key: op.Key, Value: op.Value})
+			continue
+		}
+		kid, known := ix.KeyIDOf(op.Key)
+		writer := -1
+		if known {
+			writer = ix.Writer(kid, op.Value)
+		}
+		if writer == t.ID {
+			// Reading an own write that already happened is handled by
+			// the lastWrite branch; reaching here means the writer
+			// index matched this transaction but program order did
+			// not, which the FutureRead branch covers. Defensive only.
+			continue
+		}
+		if writer >= 0 {
+			// Reads of a non-final value of the writer are G1b.
+			if last, ok := ix.WriteVal(writer, kid); ok && last != op.Value {
+				out = append(out, Anomaly{Kind: IntermediateRead, Txn: t.ID, Key: op.Key, Value: op.Value})
+			}
+			continue
+		}
+		if known && ix.AbortedWriter(kid, op.Value) {
+			out = append(out, Anomaly{Kind: AbortedRead, Txn: t.ID, Key: op.Key, Value: op.Value})
+			continue
+		}
+		out = append(out, Anomaly{Kind: ThinAirRead, Txn: t.ID, Key: op.Key, Value: op.Value})
 	}
 	return out
 }

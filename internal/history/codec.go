@@ -33,9 +33,10 @@ func ReadJSON(r io.Reader) (*History, error) {
 
 // SaveFile writes the history to path. A ".gz" suffix selects
 // transparent gzip compression; the format is chosen by the remaining
-// extension — ".txt" writes the line-oriented text format, anything else
-// the JSON encoding. "h.json", "h.json.gz", "h.txt" and "h.txt.gz" all
-// round-trip through LoadFile.
+// extension — ".txt" writes the line-oriented text format, ".ndjson"
+// the streaming one-transaction-per-line encoding, anything else the
+// JSON encoding. "h.json", "h.json.gz", "h.txt", "h.txt.gz", "h.ndjson"
+// and "h.ndjson.gz" all round-trip through LoadFile.
 func SaveFile(path string, h *History) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -51,9 +52,12 @@ func SaveFile(path string, h *History) error {
 		w = zw
 	}
 	bw := bufio.NewWriter(w)
-	if strings.EqualFold(filepath.Ext(inner), ".txt") {
+	switch {
+	case strings.EqualFold(filepath.Ext(inner), ".txt"):
 		err = WriteText(bw, h)
-	} else {
+	case strings.EqualFold(filepath.Ext(inner), ".ndjson"):
+		err = WriteNDJSON(bw, h)
+	default:
 		err = WriteJSON(bw, h)
 	}
 	if err != nil {
@@ -85,7 +89,7 @@ func LoadFile(path string) (*History, error) {
 }
 
 // ReadAuto reads a history from r with the same content sniffing as
-// LoadFile (gzip, then JSON vs text).
+// LoadFile (gzip, then NDJSON vs JSON vs text).
 func ReadAuto(r io.Reader) (*History, error) {
 	br := bufio.NewReader(r)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
@@ -99,10 +103,25 @@ func ReadAuto(r io.Reader) (*History, error) {
 	if _, err := br.Peek(1); err != nil {
 		return nil, fmt.Errorf("history: empty input: %w", err)
 	}
+	if sniffNDJSON(br) {
+		return ReadNDJSON(br)
+	}
 	if sniffJSON(br) {
 		return ReadJSON(br)
 	}
 	return ReadText(br)
+}
+
+// sniffNDJSON reports whether the buffered payload opens with the
+// streaming codec's self-identifying header line. The whole-file JSON
+// encoder indents, so its first line never contains the format marker.
+func sniffNDJSON(br *bufio.Reader) bool {
+	buf, _ := br.Peek(len(NDJSONHeader) + 2)
+	i := 0
+	for i < len(buf) && (buf[i] == ' ' || buf[i] == '\t' || buf[i] == '\r' || buf[i] == '\n') {
+		i++
+	}
+	return strings.HasPrefix(string(buf[i:]), `{"format":"mtc-ndjson"`)
 }
 
 // sniffJSON reports whether the buffered payload starts (after

@@ -100,10 +100,14 @@ func (t *Txn) WritesAll() map[Key][]Value {
 	return out
 }
 
-// ReadsKeys reports whether the transaction reads key x before writing it.
+// ReadsKey reports whether the transaction reads key x before writing it.
 func (t *Txn) ReadsKey(x Key) bool {
-	_, ok := t.Reads()[x]
-	return ok
+	for _, op := range t.Ops {
+		if op.Key == x {
+			return op.Kind == OpRead
+		}
+	}
+	return false
 }
 
 // String renders the transaction compactly, e.g. "T3[s0]{R(x,1) W(x,2)}".

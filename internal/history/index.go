@@ -1,0 +1,479 @@
+package history
+
+import "sort"
+
+// KeyID is a dense interned key identifier. The Index assigns ids in
+// lexicographic key order, so sorting a column by KeyID sorts it by key
+// name — the property the merge-join edge derivations in internal/core
+// and internal/polygraph rely on for deterministic, map-free iteration.
+type KeyID int32
+
+// Interner assigns dense int32 ids to keys in first-seen order. It is
+// the lightweight interning layer shared by Index (which afterwards
+// remaps ids into sorted order) and by consumers that only need dense
+// ids, like shard.Split's union-find over keys.
+type Interner struct {
+	ids   map[Key]KeyID
+	names []Key
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Key]KeyID)}
+}
+
+// Intern returns the id of k, assigning the next dense id on first sight.
+func (it *Interner) Intern(k Key) KeyID {
+	if id, ok := it.ids[k]; ok {
+		return id
+	}
+	id := KeyID(len(it.names))
+	it.ids[k] = id
+	it.names = append(it.names, k)
+	return id
+}
+
+// Lookup returns the id of k without interning, and whether it is known.
+func (it *Interner) Lookup(k Key) (KeyID, bool) {
+	id, ok := it.ids[k]
+	return id, ok
+}
+
+// Len returns the number of interned keys.
+func (it *Interner) Len() int { return len(it.names) }
+
+// Name returns the key with id. It panics on out-of-range ids.
+func (it *Interner) Name(id KeyID) Key { return it.names[id] }
+
+// Index is a columnar, immutable view of a History built once per check:
+// keys are interned to dense KeyIDs (in lexicographic order), each
+// committed transaction's first-external-read and last-write footprints
+// are stored as parallel (KeyID, Value) column slices sorted by KeyID in
+// one shared arena (no per-transaction maps), and every committed write
+// operation is indexed into per-key postings sorted by value, subsuming
+// BuildWriterIndex. Aborted writes get their own postings for G1a
+// classification.
+//
+// The footprints decide exactly the predicates of the map-based
+// accessors: Reads(t) enumerates Txn.Reads() sorted by key, Writes(t)
+// enumerates Txn.Writes() sorted by key, Writer matches
+// WriterIndex.Writer, and Dups matches BuildWriterIndex's dups — an
+// equivalence the randomized tests in index_test.go pin down.
+type Index struct {
+	h  *History
+	it *Interner // names sorted lexicographically; KeyID == sorted rank
+
+	// Per-txn footprint columns: transaction t's reads occupy
+	// readKey[readOff[t]:readOff[t+1]] (parallel readVal), sorted by
+	// KeyID; likewise writes. Aborted transactions have empty footprints.
+	readKey  []KeyID
+	readVal  []Value
+	readOff  []int32
+	writeKey []KeyID
+	writeVal []Value
+	writeOff []int32
+
+	// Committed write-op postings: slot s holds the unique (key, value)
+	// pair slotVal[s] of key k for s in [slotOff[k], slotOff[k+1]),
+	// sorted by value within the key segment, written first by
+	// slotTxn[s]. One slot per distinct (key, value) — duplicate write
+	// ops land in dups instead, keeping the first writer, exactly as
+	// BuildWriterIndex does.
+	slotVal []Value
+	slotTxn []int32
+	slotOff []int32
+
+	// Aborted write postings, same shape (last aborted writer wins, as
+	// in CheckInternal's aborted map; only existence is ever queried).
+	abVal []Value
+	abTxn []int32
+	abOff []int32
+
+	// writersTxn[writersOff[k]:writersOff[k+1]] lists the distinct
+	// committed writers of key k, ascending.
+	writersTxn []int32
+	writersOff []int32
+
+	dups []Op
+}
+
+// NewIndex builds the columnar index of h. Cost is O(ops log ops) for
+// the postings sort; everything downstream of it is allocation-free
+// column iteration.
+func NewIndex(h *History) *Index {
+	ix := &Index{h: h, it: NewInterner()}
+
+	// Intern in first-seen order, then remap to lexicographic rank so
+	// KeyID order equals key-name order.
+	nOps := 0
+	for i := range h.Txns {
+		nOps += len(h.Txns[i].Ops)
+		for _, op := range h.Txns[i].Ops {
+			ix.it.Intern(op.Key)
+		}
+	}
+	nk := ix.it.Len()
+	sortedNames := make([]Key, nk)
+	copy(sortedNames, ix.it.names)
+	sort.Slice(sortedNames, func(i, j int) bool { return sortedNames[i] < sortedNames[j] })
+	remap := make([]KeyID, nk) // first-seen id -> sorted rank
+	sorted := NewInterner()
+	for _, k := range sortedNames {
+		sorted.Intern(k)
+	}
+	for id, k := range ix.it.names {
+		remap[id], _ = sorted.Lookup(k)
+	}
+	oldIt := ix.it
+	ix.it = sorted
+	kid := func(k Key) KeyID {
+		id, _ := oldIt.Lookup(k)
+		return remap[id]
+	}
+
+	ix.buildFootprints(h, nOps, kid)
+	ix.buildPostings(h, nOps, kid)
+	return ix
+}
+
+// buildFootprints fills the per-txn read/write columns.
+func (ix *Index) buildFootprints(h *History, nOps int, kid func(Key) KeyID) {
+	n := len(h.Txns)
+	ix.readOff = make([]int32, n+1)
+	ix.writeOff = make([]int32, n+1)
+	ix.readKey = make([]KeyID, 0, nOps/2)
+	ix.readVal = make([]Value, 0, nOps/2)
+	ix.writeKey = make([]KeyID, 0, nOps/2)
+	ix.writeVal = make([]Value, 0, nOps/2)
+
+	// Generation-stamped scratch, reused across transactions: gen[k]
+	// tracks the txn that last touched key k (split by read/write so a
+	// read after an own write is excluded, matching Txn.Reads).
+	nk := ix.it.Len()
+	readGen := make([]int32, nk)
+	writeGen := make([]int32, nk)
+	writeAt := make([]int32, nk) // write column position of the txn's last write
+	for i := range readGen {
+		readGen[i], writeGen[i] = -1, -1
+	}
+
+	for t := range h.Txns {
+		ix.readOff[t] = int32(len(ix.readKey))
+		ix.writeOff[t] = int32(len(ix.writeKey))
+		txn := &h.Txns[t]
+		if !txn.Committed {
+			continue
+		}
+		gen := int32(t)
+		for _, op := range txn.Ops {
+			k := kid(op.Key)
+			switch op.Kind {
+			case OpRead:
+				if writeGen[k] != gen && readGen[k] != gen {
+					readGen[k] = gen
+					ix.readKey = append(ix.readKey, k)
+					ix.readVal = append(ix.readVal, op.Value)
+				}
+			case OpWrite:
+				if writeGen[k] != gen {
+					writeGen[k] = gen
+					writeAt[k] = int32(len(ix.writeKey))
+					ix.writeKey = append(ix.writeKey, k)
+					ix.writeVal = append(ix.writeVal, op.Value)
+				} else {
+					ix.writeVal[writeAt[k]] = op.Value // last write wins
+				}
+			}
+		}
+		sortColumn(ix.readKey[ix.readOff[t]:], ix.readVal[ix.readOff[t]:])
+		sortColumn(ix.writeKey[ix.writeOff[t]:], ix.writeVal[ix.writeOff[t]:])
+	}
+	ix.readOff[n] = int32(len(ix.readKey))
+	ix.writeOff[n] = int32(len(ix.writeKey))
+}
+
+// sortColumn sorts a (key, value) column tail by KeyID. Footprints are
+// tiny (mini-transactions touch at most two keys; only ⊥T is wide), so
+// insertion sort beats sort.Sort without allocating a closure pair.
+func sortColumn(keys []KeyID, vals []Value) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1], vals[j+1] = keys[j], vals[j]
+			j--
+		}
+		keys[j+1], vals[j+1] = k, v
+	}
+}
+
+// kvt is a scratch triple for postings construction.
+type kvt struct {
+	k KeyID
+	v Value
+	t int32
+}
+
+// buildPostings fills the committed and aborted write-op postings, the
+// duplicate-write list, and the per-key writer lists.
+func (ix *Index) buildPostings(h *History, nOps int, kid func(Key) KeyID) {
+	var committed, aborted []kvt
+	for t := range h.Txns {
+		txn := &h.Txns[t]
+		for _, op := range txn.Ops {
+			if op.Kind != OpWrite {
+				continue
+			}
+			e := kvt{k: kid(op.Key), v: op.Value, t: int32(t)}
+			if txn.Committed {
+				committed = append(committed, e)
+			} else {
+				aborted = append(aborted, e)
+			}
+		}
+	}
+	nk := ix.it.Len()
+
+	// Committed postings: sort by (key, value), collapse to unique
+	// slots, then claim winners in op order so dups match
+	// BuildWriterIndex exactly (first op occurrence wins; a repeated
+	// write of the same pair inside one transaction is a dup too).
+	sorted := make([]kvt, len(committed))
+	copy(sorted, committed)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].k != sorted[j].k {
+			return sorted[i].k < sorted[j].k
+		}
+		return sorted[i].v < sorted[j].v
+	})
+	ix.slotOff = make([]int32, nk+1)
+	prevK, prevV := KeyID(-1), Value(0)
+	for _, e := range sorted {
+		if e.k == prevK && e.v == prevV {
+			continue // duplicate pair; winner decided below
+		}
+		prevK, prevV = e.k, e.v
+		ix.slotVal = append(ix.slotVal, e.v)
+		ix.slotTxn = append(ix.slotTxn, -1)
+		ix.slotOff[e.k+1]++
+	}
+	for k := 0; k < nk; k++ {
+		ix.slotOff[k+1] += ix.slotOff[k]
+	}
+	claimed := make([]bool, len(ix.slotVal))
+	for _, e := range committed {
+		s := ix.slot(e.k, e.v)
+		if !claimed[s] {
+			claimed[s] = true
+			ix.slotTxn[s] = e.t
+		} else {
+			ix.dups = append(ix.dups, Op{Kind: OpWrite, Key: ix.it.Name(e.k), Value: e.v})
+		}
+	}
+
+	// Aborted postings: existence lookups only; last writer wins to
+	// mirror CheckInternal's aborted map.
+	sort.SliceStable(aborted, func(i, j int) bool {
+		if aborted[i].k != aborted[j].k {
+			return aborted[i].k < aborted[j].k
+		}
+		return aborted[i].v < aborted[j].v
+	})
+	ix.abOff = make([]int32, nk+1)
+	prevK, prevV = KeyID(-1), Value(0)
+	for _, e := range aborted {
+		if e.k == prevK && e.v == prevV {
+			ix.abTxn[len(ix.abTxn)-1] = e.t // stable sort: last duplicate is the latest txn
+			continue
+		}
+		prevK, prevV = e.k, e.v
+		ix.abVal = append(ix.abVal, e.v)
+		ix.abTxn = append(ix.abTxn, e.t)
+		ix.abOff[e.k+1]++
+	}
+	for k := 0; k < nk; k++ {
+		ix.abOff[k+1] += ix.abOff[k]
+	}
+
+	// Distinct committed writers per key, ascending.
+	ix.writersOff = make([]int32, nk+1)
+	scratch := make([]int32, 0, 8)
+	for k := 0; k < nk; k++ {
+		ix.writersOff[k] = int32(len(ix.writersTxn))
+		scratch = scratch[:0]
+		for s := ix.slotOff[k]; s < ix.slotOff[k+1]; s++ {
+			scratch = append(scratch, ix.slotTxn[s])
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		for i, w := range scratch {
+			if i == 0 || scratch[i-1] != w {
+				ix.writersTxn = append(ix.writersTxn, w)
+			}
+		}
+	}
+	ix.writersOff[nk] = int32(len(ix.writersTxn))
+}
+
+// slot returns the postings slot of (k, v), or -1 when no committed
+// transaction wrote v to k.
+func (ix *Index) slot(k KeyID, v Value) int32 {
+	lo, hi := ix.slotOff[k], ix.slotOff[k+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.slotVal[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < ix.slotOff[k+1] && ix.slotVal[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// History returns the indexed history.
+func (ix *Index) History() *History { return ix.h }
+
+// NumTxns returns the number of transactions (committed and aborted).
+func (ix *Index) NumTxns() int { return len(ix.h.Txns) }
+
+// NumKeys returns the number of distinct keys in the history.
+func (ix *Index) NumKeys() int { return ix.it.Len() }
+
+// KeyName returns the interned name of id.
+func (ix *Index) KeyName(id KeyID) Key { return ix.it.Name(id) }
+
+// KeyIDOf returns the id of k and whether the history touches it.
+func (ix *Index) KeyIDOf(k Key) (KeyID, bool) { return ix.it.Lookup(k) }
+
+// Reads returns transaction t's first-external-read footprint as
+// parallel slices sorted by KeyID: the columnar form of Txn.Reads().
+// The slices alias the shared arena and must not be mutated.
+func (ix *Index) Reads(t int) ([]KeyID, []Value) {
+	return ix.readKey[ix.readOff[t]:ix.readOff[t+1]], ix.readVal[ix.readOff[t]:ix.readOff[t+1]]
+}
+
+// Writes returns transaction t's final-write footprint as parallel
+// slices sorted by KeyID: the columnar form of Txn.Writes().
+func (ix *Index) Writes(t int) ([]KeyID, []Value) {
+	return ix.writeKey[ix.writeOff[t]:ix.writeOff[t+1]], ix.writeVal[ix.writeOff[t]:ix.writeOff[t+1]]
+}
+
+// ReadKeys returns just the key column of transaction t's read
+// footprint, for passes that re-walk reads without the values.
+func (ix *Index) ReadKeys(t int) []KeyID {
+	return ix.readKey[ix.readOff[t]:ix.readOff[t+1]]
+}
+
+// ReadVal returns the value transaction t first externally read from
+// key k, if any: the columnar Txn.ReadsKey.
+func (ix *Index) ReadVal(t int, k KeyID) (Value, bool) {
+	keys, vals := ix.Reads(t)
+	if i := searchKey(keys, k); i >= 0 {
+		return vals[i], true
+	}
+	return 0, false
+}
+
+// WriteVal returns the last value transaction t wrote to key k, if any.
+func (ix *Index) WriteVal(t int, k KeyID) (Value, bool) {
+	keys, vals := ix.Writes(t)
+	if i := searchKey(keys, k); i >= 0 {
+		return vals[i], true
+	}
+	return 0, false
+}
+
+// searchKey finds k in a sorted KeyID column, or -1.
+func searchKey(keys []KeyID, k KeyID) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == k {
+		return lo
+	}
+	return -1
+}
+
+// Writer returns the committed transaction that wrote value v to key k,
+// or -1: the columnar WriterIndex.Writer.
+func (ix *Index) Writer(k KeyID, v Value) int {
+	if s := ix.slot(k, v); s >= 0 {
+		return int(ix.slotTxn[s])
+	}
+	return -1
+}
+
+// WriterByName is Writer for un-interned callers; unknown keys have no
+// writer.
+func (ix *Index) WriterByName(x Key, v Value) int {
+	if k, ok := ix.it.Lookup(x); ok {
+		return ix.Writer(k, v)
+	}
+	return -1
+}
+
+// AbortedWriter reports whether some aborted transaction wrote v to k.
+func (ix *Index) AbortedWriter(k KeyID, v Value) bool {
+	lo, hi := ix.abOff[k], ix.abOff[k+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.abVal[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < ix.abOff[k+1] && ix.abVal[lo] == v
+}
+
+// WritersOf returns the distinct committed writers of key k, ascending.
+// The slice aliases the shared arena and must not be mutated.
+func (ix *Index) WritersOf(k KeyID) []int32 {
+	return ix.writersTxn[ix.writersOff[k]:ix.writersOff[k+1]]
+}
+
+// NumReads returns the total number of read-footprint entries across
+// every transaction: the length of the shared read column. Derivation
+// passes size their per-read scratch arenas with it.
+func (ix *Index) NumReads() int { return len(ix.readKey) }
+
+// NumWriterSlots returns the total number of (key, distinct committed
+// writer) pairs: the index space of WriterSlot.
+func (ix *Index) NumWriterSlots() int { return len(ix.writersTxn) }
+
+// WriterSlot returns a dense history-wide id for the (key, writer)
+// pair, or -1 when w is not a committed writer of k. Dense per-pair
+// state (like divergence tracking) indexes a flat array with it instead
+// of allocating a map keyed by (writer, key).
+func (ix *Index) WriterSlot(k KeyID, w int32) int {
+	lo, hi := ix.writersOff[k], ix.writersOff[k+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.writersTxn[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < ix.writersOff[k+1] && ix.writersTxn[lo] == w {
+		return int(lo)
+	}
+	return -1
+}
+
+// Dups lists committed write operations that violated the unique-value
+// assumption, in operation order, first writer retained — identical to
+// BuildWriterIndex's second return.
+func (ix *Index) Dups() []Op { return ix.dups }
+
+// SortedKeys returns every key of the history in lexicographic order
+// (KeyID order): the columnar History.Keys.
+func (ix *Index) SortedKeys() []Key { return ix.it.names }

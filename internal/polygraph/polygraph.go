@@ -17,7 +17,6 @@ package polygraph
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"mtc/internal/graph"
 	"mtc/internal/history"
@@ -38,8 +37,17 @@ type Polygraph struct {
 // history.CheckInternal). Both the SER and SI baselines share this
 // construction; they differ only in the theory they solve with.
 func Build(h *history.History) *Polygraph {
+	return BuildIndexed(history.NewIndex(h))
+}
+
+// BuildIndexed constructs the polygraph over a prebuilt columnar index,
+// so one interning/footprint pass serves both the pre-check and the
+// constraint extraction. Footprint columns are sorted by interned key
+// id — lexicographic key order — so the edge and constraint emission
+// order matches the map-and-sort construction it replaces.
+func BuildIndexed(ix *history.Index) *Polygraph {
+	h := ix.History()
 	p := &Polygraph{N: len(h.Txns)}
-	idx, _ := history.BuildWriterIndex(h)
 
 	// readersOf[u] lists (key, reader) pairs: committed reader r read
 	// key's value from u.
@@ -55,35 +63,16 @@ func Build(h *history.History) *Polygraph {
 		p.Known = append(p.Known, sat.Edge{From: a, To: b, Kind: sat.Base})
 	})
 
-	views := make([]map[history.Key]history.Value, len(h.Txns))
-	writes := make([]map[history.Key]history.Value, len(h.Txns))
-	for i := range h.Txns {
-		t := &h.Txns[i]
-		if !t.Committed {
-			continue
-		}
-		views[i] = t.Reads()
-		writes[i] = t.Writes()
-	}
-
 	for s := range h.Txns {
-		if views[s] == nil {
-			continue
-		}
-		keys := make([]history.Key, 0, len(views[s]))
-		for x := range views[s] {
-			keys = append(keys, x)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, x := range keys {
-			v := views[s][x]
-			u := idx.Writer(x, v)
+		rk, rv := ix.Reads(s) // empty for aborted transactions
+		for i, x := range rk {
+			u := ix.Writer(x, rv[i])
 			if u < 0 || u == s {
 				continue
 			}
 			p.Known = append(p.Known, sat.Edge{From: u, To: s, Kind: sat.Base}) // WR
 			readersOf[u] = append(readersOf[u], kr{key: x, r: s})
-			if _, w := writes[s][x]; w {
+			if _, w := ix.WriteVal(s, x); w {
 				p.Known = append(p.Known, sat.Edge{From: u, To: s, Kind: sat.Base}) // WW
 				knownWW[wk{u, x}] = s
 			}
@@ -107,8 +96,9 @@ func Build(h *history.History) *Polygraph {
 	// tail(D) -> head(C), with the anti-dependencies of the tail's
 	// readers. This collapses O(W²) writer pairs to O(chains²); on pure
 	// MT histories every key is a single chain and no constraints remain.
-	for _, x := range h.Keys() {
-		chains := buildChains(x, idx.WritersOf(x), knownWWSucc(knownWW, x))
+	for kid := 0; kid < ix.NumKeys(); kid++ {
+		x := history.KeyID(kid)
+		chains := buildChains(ix.WritersOf(x), knownWWSucc(knownWW, x))
 		for i := 0; i < len(chains); i++ {
 			for j := i + 1; j < len(chains); j++ {
 				c, d := chains[i], chains[j]
@@ -128,7 +118,7 @@ type chain struct {
 }
 
 // knownWWSucc extracts the direct RMW successor lists of key x.
-func knownWWSucc(knownWW map[wk]int, x history.Key) map[int]int {
+func knownWWSucc(knownWW map[wk]int, x history.KeyID) map[int]int {
 	succ := map[int]int{}
 	for k, s := range knownWW {
 		if k.k == x {
@@ -145,14 +135,15 @@ func knownWWSucc(knownWW map[wk]int, x history.Key) map[int]int {
 // value — divergent predecessors instead appear as two chains with the
 // same feeding value, already split because succ maps each writer to at
 // most one successor, keeping only one; the losers become chain heads).
-func buildChains(x history.Key, writers []int, succ map[int]int) []chain {
+func buildChains(writers []int32, succ map[int]int) []chain {
 	hasPred := map[int]bool{}
 	for _, s := range succ {
 		hasPred[s] = true
 	}
 	inChain := map[int]bool{}
 	var chains []chain
-	for _, w := range writers {
+	for _, w32 := range writers {
+		w := int(w32)
 		if hasPred[w] {
 			continue // appears mid-chain
 		}
@@ -171,8 +162,8 @@ func buildChains(x history.Key, writers []int, succ map[int]int) []chain {
 	// Writers on a cycle of succ edges (only possible in corrupt
 	// histories) would be skipped above; give each its own chain so the
 	// solver still sees them.
-	for _, w := range writers {
-		if !inChain[w] {
+	for _, w32 := range writers {
+		if w := int(w32); !inChain[w] {
 			chains = append(chains, chain{head: w, tail: w})
 		}
 	}
@@ -182,19 +173,19 @@ func buildChains(x history.Key, writers []int, succ map[int]int) []chain {
 // kr is a (key, reader) pair: the reader read the key's value from the
 // indexed transaction.
 type kr struct {
-	key history.Key
+	key history.KeyID
 	r   int
 }
 
 // wk is a (writer, key) pair indexing the direct RMW successor map.
 type wk struct {
 	u int
-	k history.Key
+	k history.KeyID
 }
 
 // orient returns the edges activated by ordering u before w on key x: the
 // WW edge plus an anti-dependency from every reader of u's value of x.
-func orient(u, w int, x history.Key, readersOf [][]kr) []sat.Edge {
+func orient(u, w int, x history.KeyID, readersOf [][]kr) []sat.Edge {
 	edges := []sat.Edge{{From: u, To: w, Kind: sat.Base}}
 	for _, e := range readersOf[u] {
 		if e.key == x && e.r != w {

@@ -43,10 +43,12 @@ type StreamResult struct {
 }
 
 // streamMsg carries one executed transaction attempt from a session
-// goroutine to the verifier.
+// goroutine to the verifier, or (done) the marker that the session has
+// published its last record and releases its staleness-horizon hold.
 type streamMsg struct {
-	si  int
-	rec record
+	si   int
+	rec  record
+	done bool
 }
 
 // startSessions initializes the store and launches one goroutine per
@@ -62,6 +64,9 @@ func startSessions(s *kv.Store, w *workload.Workload, cfg Config, stop *atomic.B
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
+			// Registered after wg.Done so it runs first: the done marker
+			// is always published before the channel can close.
+			defer func() { ch <- streamMsg{si: si, done: true} }()
 			<-start
 			values := 0
 			for _, spec := range w.Sessions[si] {
@@ -97,6 +102,10 @@ func drainSessions(ctx context.Context, ch <-chan streamMsg, stop *atomic.Bool, 
 				res.Err = err
 				stop.Store(true)
 			}
+		}
+		if msg.done {
+			sink(msg)
+			continue
 		}
 		r := msg.rec
 		res.Attempts++
@@ -164,6 +173,13 @@ func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Confi
 	res := &StreamResult{}
 	inc := core.NewIncremental(lvl)
 	inc.InitTxn(w.Keys...)
+	// Declaring the live sessions up front arms the staleness horizon:
+	// windowed compaction then never evicts a writer slot some session's
+	// in-flight transaction may still read, however late its record
+	// arrives relative to the other sessions'.
+	for si := range w.Sessions {
+		inc.ExpectSession(si)
+	}
 	// Windowed streams keep memory bounded: no history builder, and the
 	// checker is compacted on the shared MaybeCompact cadence.
 	var b *history.Builder
@@ -172,6 +188,10 @@ func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Confi
 	}
 	release()
 	drainSessions(ctx, ch, &stop, cfg, res, b, func(msg streamMsg) {
+		if msg.done {
+			inc.EndSession(msg.si)
+			return
+		}
 		vio := inc.Add(history.Txn{Session: msg.si, Ops: msg.rec.ops, Committed: msg.rec.committed})
 		if vio != nil && !stop.Swap(true) {
 			res.ViolationAt = inc.NumTxns()
@@ -187,10 +207,13 @@ func RunStream(ctx context.Context, s *kv.Store, w *workload.Workload, cfg Confi
 }
 
 // shardMsg is one routed transaction: the component it belongs to plus
-// the transaction itself.
+// the transaction itself, or (done) a session-retirement marker for the
+// component's checker.
 type shardMsg struct {
 	comp int
 	txn  history.Txn
+	sess int
+	done bool
 }
 
 // runStreamSharded is the component-sharded verifier behind RunStream:
@@ -227,6 +250,7 @@ func runStreamSharded(ctx context.Context, s *kv.Store, w *workload.Workload, cf
 		}
 		for _, si := range group {
 			compOf[si] = ci
+			incs[ci].ExpectSession(si)
 		}
 	}
 
@@ -253,6 +277,10 @@ func runStreamSharded(ctx context.Context, s *kv.Store, w *workload.Workload, cf
 			defer vwg.Done()
 			for m := range in {
 				inc := incs[m.comp]
+				if m.done {
+					inc.EndSession(m.sess)
+					continue
+				}
 				vio := inc.Add(m.txn)
 				n := verified.Add(1)
 				if vio != nil && !stop.Swap(true) {
@@ -274,6 +302,10 @@ func runStreamSharded(ctx context.Context, s *kv.Store, w *workload.Workload, cf
 		ci := compOf[msg.si]
 		if ci < 0 {
 			return // session outside every planned component (no specs)
+		}
+		if msg.done {
+			shardCh[ci%workers] <- shardMsg{comp: ci, sess: msg.si, done: true}
+			return
 		}
 		arrival++
 		if ext != nil {

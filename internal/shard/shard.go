@@ -89,7 +89,10 @@ func (p *Partition) ComponentOf(ext int) int {
 func Split(h *history.History) *Partition {
 	nSess := len(h.Sessions)
 	u := graph.NewUnionFind(nSess)
-	keyElem := make(map[history.Key]int)
+	// Keys are interned to dense first-seen ids, which line up with the
+	// union-find elements grown past the session seeds: key id k is
+	// element nSess+k.
+	it := history.NewInterner()
 	firstTxn := 0
 	if h.HasInit {
 		firstTxn = 1
@@ -100,12 +103,12 @@ func Split(h *history.History) *Partition {
 			continue // defensively skip txns outside the session table
 		}
 		for _, op := range t.Ops {
-			e, ok := keyElem[op.Key]
-			if !ok {
-				e = u.Grow()
-				keyElem[op.Key] = e
+			before := it.Len()
+			kid := it.Intern(op.Key)
+			if it.Len() > before {
+				u.Grow()
 			}
-			u.Union(t.Session, e)
+			u.Union(t.Session, nSess+int(kid))
 		}
 	}
 
