@@ -19,6 +19,14 @@
 //
 //	go test -run '^$' -bench 'SER10k|SI10k' -benchtime 3x . \
 //	  | mtc-benchjson -compare bench/baseline.json -tolerance 0.25
+//
+// With -append the snapshot is additionally appended as one NDJSON line
+// to an accumulating history file, so the repository keeps a commit-by-
+// commit performance log that plotting tooling can replay without
+// walking git history:
+//
+//	go test -run '^$' -bench . -benchmem . \
+//	  | mtc-benchjson -append bench/history.ndjson
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -60,6 +69,7 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit id recorded in the snapshot")
 	compare := flag.String("compare", "", "baseline snapshot to gate against (exit 1 on regression)")
+	appendPath := flag.String("append", "", "NDJSON history file to append this snapshot to (one line per run)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline (0.25 = 25%)")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.05, "allowed fractional allocs/op regression vs the baseline (counts are deterministic, so keep this tight)")
 	flag.Parse()
@@ -69,40 +79,25 @@ func main() {
 		Commit: *commit,
 		Tool:   "go",
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		v, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			continue
-		}
-		b := Bench{Name: m[1], Value: v, Unit: "ns/op", Extra: m[2] + " times"}
-		snap.Benches = append(snap.Benches, b)
-		for _, em := range extraMetric.FindAllStringSubmatch(line, -1) {
-			val, err := strconv.ParseFloat(em[1], 64)
-			if err != nil {
-				continue
-			}
-			suffix := map[string]string{
-				"peak-heap-MB": "/peak-heap-MB", "B/op": "/alloc", "allocs/op": "/allocs",
-			}[em[2]]
-			snap.Benches = append(snap.Benches, Bench{Name: m[1] + suffix, Value: val, Unit: em[2]})
-		}
-	}
-	if err := sc.Err(); err != nil {
+	benches, err := parseBenches(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mtc-benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
+	snap.Benches = benches
 	if len(snap.Benches) == 0 {
 		fmt.Fprintln(os.Stderr, "mtc-benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
-	if *out != "" || *compare == "" {
+	if *appendPath != "" {
+		n, err := appendSnapshot(*appendPath, snap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended run %d to %s (%d benches)\n", n, *appendPath, len(snap.Benches))
+	}
+	if *out != "" || (*compare == "" && *appendPath == "") {
 		w := os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)
@@ -129,6 +124,91 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseBenches extracts benchmark results from `go test -bench` output:
+// one ns/op entry per benchmark line plus derived entries for the
+// allocation pair and any custom b.ReportMetric units it recognises.
+func parseBenches(r io.Reader) ([]Bench, error) {
+	var benches []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		benches = append(benches, Bench{Name: m[1], Value: v, Unit: "ns/op", Extra: m[2] + " times"})
+		for _, em := range extraMetric.FindAllStringSubmatch(line, -1) {
+			val, err := strconv.ParseFloat(em[1], 64)
+			if err != nil {
+				continue
+			}
+			suffix := map[string]string{
+				"peak-heap-MB": "/peak-heap-MB", "B/op": "/alloc", "allocs/op": "/allocs",
+			}[em[2]]
+			benches = append(benches, Bench{Name: m[1] + suffix, Value: val, Unit: em[2]})
+		}
+	}
+	return benches, sc.Err()
+}
+
+// appendSnapshot appends snap as one compact JSON line to the NDJSON
+// history at path, creating the file on first use, and returns the
+// 1-based index of the appended run. Each line is a complete Snapshot,
+// so the log keeps accumulating across commits and stays greppable and
+// replayable line by line (no rewrite of earlier runs, merge-friendly).
+func appendSnapshot(path string, snap Snapshot) (int, error) {
+	prior, err := readSnapshots(path)
+	if err != nil {
+		return 0, err
+	}
+	line, err := json.Marshal(snap)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return 0, err
+	}
+	return len(prior) + 1, err
+}
+
+// readSnapshots parses an NDJSON history file, one Snapshot per line.
+// A missing file is an empty history; a malformed line is an error (the
+// accumulating log must never be silently truncated by a bad append).
+func readSnapshots(path string) ([]Snapshot, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var snaps []Snapshot
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var s Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return nil, fmt.Errorf("parse %s line %d: %w", path, len(snaps)+1, err)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, sc.Err()
 }
 
 // compareBaseline gates the current snapshot against the committed

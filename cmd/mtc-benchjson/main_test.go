@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: mtc
+BenchmarkBatchSER10k-8   	      24	  46519241 ns/op	 1234 B/op	  12 allocs/op
+BenchmarkBatchSI10k-8    	      20	  52519241 ns/op
+BenchmarkProfile10k-8    	      18	  61211100 ns/op	 4.800 peak-heap-MB
+PASS
+ok  	mtc	4.2s
+`
+
+// TestParseBenches covers the -bench output parser: the ns/op entry per
+// line plus the derived allocation and custom-metric entries.
+func TestParseBenches(t *testing.T) {
+	benches, err := parseBenches(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Bench{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	if len(benches) != 6 {
+		t.Fatalf("parsed %d benches, want 6: %+v", len(benches), benches)
+	}
+	if b := byName["BenchmarkBatchSER10k"]; b.Value != 46519241 || b.Unit != "ns/op" || b.Extra != "24 times" {
+		t.Fatalf("SER bench: %+v", b)
+	}
+	if b := byName["BenchmarkBatchSER10k/allocs"]; b.Value != 12 || b.Unit != "allocs/op" {
+		t.Fatalf("allocs entry: %+v", b)
+	}
+	if b := byName["BenchmarkProfile10k/peak-heap-MB"]; b.Value != 4.8 {
+		t.Fatalf("custom metric entry: %+v", b)
+	}
+}
+
+// TestAppendRoundTrip appends two snapshots to a fresh NDJSON history
+// and reads them back, checking nothing is lost or reordered.
+func TestAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.ndjson")
+	benches, err := parseBenches(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []Snapshot{
+		{Date: "2026-08-07T00:00:00Z", Commit: "aaaa", Tool: "go", Benches: benches},
+		{Date: "2026-08-08T00:00:00Z", Commit: "bbbb", Tool: "go", Benches: benches[:2]},
+	}
+	for i, s := range runs {
+		n, err := appendSnapshot(path, s)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if n != i+1 {
+			t.Fatalf("append %d reported run %d", i, n)
+		}
+	}
+	got, err := readSnapshots(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(runs) {
+		t.Fatalf("read back %d snapshots, want %d", len(got), len(runs))
+	}
+	for i := range runs {
+		if got[i].Commit != runs[i].Commit || got[i].Date != runs[i].Date {
+			t.Fatalf("snapshot %d header drifted: %+v", i, got[i])
+		}
+		if len(got[i].Benches) != len(runs[i].Benches) {
+			t.Fatalf("snapshot %d has %d benches, want %d", i, len(got[i].Benches), len(runs[i].Benches))
+		}
+		for j, b := range runs[i].Benches {
+			if got[i].Benches[j] != b {
+				t.Fatalf("snapshot %d bench %d: got %+v want %+v", i, j, got[i].Benches[j], b)
+			}
+		}
+	}
+	// A missing file is an empty history, not an error.
+	empty, err := readSnapshots(filepath.Join(t.TempDir(), "absent.ndjson"))
+	if err != nil || empty != nil {
+		t.Fatalf("missing file: %v %v", empty, err)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	mtc-client -server http://localhost:8080 -checkers
 //	mtc-client -history h.json -level SER
+//	mtc-client -history h.json -checker profile    # full lattice profile
 //	mtc-client -history h.json -checker cobra -level SER -timeout 30s
 //	mtc-client -history h.json -level SI -events     # follow the NDJSON stream
 //	mtc-client -history h.json -level SI -stream -window 256
@@ -37,7 +38,7 @@ func main() {
 		server       = flag.String("server", "http://localhost:8080", "base URL of the mtc-serve instance")
 		historyPath  = flag.String("history", "", "history JSON file to verify (\"-\" for stdin)")
 		checkerName  = flag.String("checker", "", "verification engine (empty = server default)")
-		level        = flag.String("level", "", "isolation level: SSER, SER or SI (empty = checker default)")
+		level        = flag.String("level", "", "isolation level: SSER, SER, SI, CAUSAL, RA or RC (empty = checker default)")
 		timeout      = flag.Duration("timeout", 0, "per-job execution timeout sent to the server (0 = server default)")
 		parallelism  = flag.Int("parallelism", 0, "engine parallelism requested for the job (0 = server default; requests above the server's limit are rejected)")
 		shardN       = flag.Int("shard", 0, "component-sharded verification: ask the server to decompose the history and check up to this many components concurrently (0 = off)")
@@ -150,6 +151,7 @@ func main() {
 			fmt.Printf(", %d dependency edges", report.Edges)
 		}
 		fmt.Println(")")
+		printProfile(report)
 		return
 	}
 	fmt.Printf("[%s] history VIOLATES %s:\n", report.Checker, report.Level)
@@ -159,7 +161,32 @@ func main() {
 	if report.Detail != "" {
 		fmt.Printf("  %s\n", report.Detail)
 	}
+	printProfile(report)
 	os.Exit(1)
+}
+
+// printProfile renders the lattice profile of a profile-checker report;
+// single-level reports carry no strongest level and print nothing extra.
+func printProfile(report *mtc.Report) {
+	if report.StrongestLevel == "" {
+		return
+	}
+	fmt.Printf("strongest level satisfied: %s\n", report.StrongestLevel)
+	for i := len(report.Rungs) - 1; i >= 0; i-- {
+		r := report.Rungs[i]
+		if r.OK {
+			fmt.Printf("  %-6s ok\n", r.Level)
+		} else {
+			fmt.Printf("  %-6s VIOLATED: %s\n", r.Level, r.Witness)
+		}
+	}
+	for _, g := range report.Guarantees {
+		if g.OK {
+			fmt.Printf("  %-6s ok\n", g.Guarantee)
+		} else {
+			fmt.Printf("  %-6s VIOLATED: %s\n", g.Guarantee, g.Witness)
+		}
+	}
 }
 
 // runStream replays h through a streaming session in commit order,

@@ -9,6 +9,8 @@
 //	mtc -level SI -sessions 10 -txns 100 -objects 20
 //	mtc -level SER -bug postgresql-12.3 -seed 3
 //	mtc -level SER -checker cobra
+//	mtc -level rc -bug dirty-abort
+//	mtc -profile -bug long-fork
 //	mtc -level SI -stream -bug mariadb-galera-10.7.3
 //	mtc -level SSER -lwt -sessions 8 -txns 50
 //	mtc -level SI -out history.json
@@ -37,8 +39,9 @@ import (
 
 func main() {
 	var (
-		level        = flag.String("level", "SI", "isolation level to check: SSER, SER or SI")
+		level        = flag.String("level", "SI", "isolation level to check: SSER, SER, SI, CAUSAL, RA or RC")
 		checkerName  = flag.String("checker", "mtc", "verification engine (see -checkers)")
+		profileRun   = flag.Bool("profile", false, "evaluate the full isolation lattice and session guarantees in one pass, reporting the strongest level satisfied")
 		listCheckers = flag.Bool("checkers", false, "list registered checkers and exit")
 		stream       = flag.Bool("stream", false, "verify online while the run executes (incremental checker; SER or SI)")
 		sessions     = flag.Int("sessions", 10, "number of client sessions")
@@ -97,6 +100,15 @@ func main() {
 		fatalf("-tenants must be >= 0, got %d", *tenants)
 	}
 
+	if *profileRun {
+		if *stream {
+			fatalf("-profile runs the batch lattice profiler; it cannot be combined with -stream")
+		}
+		if *lwt {
+			fatalf("-profile runs the batch lattice profiler; it cannot be combined with -lwt")
+		}
+	}
+
 	store, claimed := buildStore(lvl, *bug, *seed)
 	if *lwt {
 		if *stream {
@@ -146,6 +158,14 @@ func main() {
 	ctx, cancel := verifyContext(*timeout)
 	defer cancel()
 	name := *checkerName
+	switch {
+	case *profileRun:
+		name = "profile"
+	case name == "mtc" && core.LatticeRank(claimed) >= 0 && core.LatticeRank(claimed) < core.LatticeRank(core.SI):
+		// The default engine serves the strong levels only; the weak
+		// lattice rungs route to their dedicated checkers.
+		name = strings.ToLower(string(claimed))
+	}
 	if *shardN > 0 {
 		name = shard.Name(name) // route through the component-sharded wrapper
 	}
@@ -200,6 +220,7 @@ func explain(v checker.Report) {
 		if v.Detail != "" {
 			fmt.Printf("  %s\n", v.Detail)
 		}
+		explainProfile(v)
 		return
 	}
 	fmt.Printf("[%s] history VIOLATES %s:\n", v.Checker, v.Level)
@@ -213,6 +234,32 @@ func explain(v checker.Report) {
 	}
 	if v.Detail != "" {
 		fmt.Printf("  %s\n", v.Detail)
+	}
+	explainProfile(v)
+}
+
+// explainProfile renders the lattice profile carried by a profile-run
+// report: the strongest satisfied level, every rung with its breaking
+// witness, and the session guarantees. No-op for single-level reports.
+func explainProfile(v checker.Report) {
+	if v.StrongestLevel == "" {
+		return
+	}
+	fmt.Printf("strongest level satisfied: %s\n", v.StrongestLevel)
+	for i := len(v.Rungs) - 1; i >= 0; i-- {
+		r := v.Rungs[i]
+		if r.OK {
+			fmt.Printf("  %-6s ok\n", r.Level)
+		} else {
+			fmt.Printf("  %-6s VIOLATED: %s\n", r.Level, r.Witness)
+		}
+	}
+	for _, g := range v.Guarantees {
+		if g.OK {
+			fmt.Printf("  %-6s ok\n", g.Guarantee)
+		} else {
+			fmt.Printf("  %-6s VIOLATED: %s\n", g.Guarantee, g.Witness)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"mtc/internal/graph"
 	"mtc/internal/history"
 	"mtc/internal/kv"
+	"mtc/internal/levels"
 	"mtc/internal/runner"
 	"mtc/internal/workload"
 )
@@ -62,6 +64,25 @@ func BenchmarkBatchSI10k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !core.CheckSI(bigHist).OK {
 			b.Fatal("valid history rejected")
+		}
+	}
+}
+
+// BenchmarkProfile10k measures the full lattice profile — every
+// isolation level plus the session guarantees — on the same clean 10k
+// history. On a clean history the implication chain short-circuits
+// after the SER cycle check, so the whole profile must stay within 1.5×
+// of BenchmarkBatchSER10k alone; CI gates that ratio (docs/ci.md).
+func BenchmarkProfile10k(b *testing.B) {
+	setupBig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := levels.Profile(context.Background(), bigHist, levels.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prof.Strongest != core.SSER && prof.Strongest != core.SER {
+			b.Fatalf("valid history profiled at %s", prof.Strongest)
 		}
 	}
 }

@@ -34,8 +34,8 @@ func TestAllExperimentsRegistered(t *testing.T) {
 
 func TestTable1AllVerdictsCorrect(t *testing.T) {
 	rows := ByID("table1").Run(0.1)
-	if len(rows) != 14*3 {
-		t.Fatalf("rows = %d, want 42", len(rows))
+	if len(rows) != 16*3 {
+		t.Fatalf("rows = %d, want 48", len(rows))
 	}
 	for _, r := range rows {
 		if r.Value < 0 {

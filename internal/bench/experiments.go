@@ -74,8 +74,9 @@ func genMTHistory(lvl core.Level, sessions, txnsPerSession, objects int, dist wo
 	return runner.Run(s, w, runner.Config{Retries: 8, DropAborted: true}).H
 }
 
-// table1 replays the 14 anomaly fixtures through all three checkers,
-// reporting a 1 where the checker (correctly) rejects.
+// table1 replays the anomaly fixtures (Table I plus the lattice extras)
+// through all three strong checkers, reporting a 1 where the checker
+// (correctly) rejects.
 func table1() Experiment {
 	return Experiment{
 		ID:    "table1",

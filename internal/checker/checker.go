@@ -36,16 +36,22 @@ import (
 // adapters convert freely.
 type Level = core.Level
 
+// AllLevels lists every parseable isolation level, weakest first — the
+// full lattice the profile checker walks. Individual engines support
+// subsets (their Levels method).
+func AllLevels() []Level { return core.Lattice() }
+
 // ParseLevel maps a level name (any case) to its Level. It is the one
 // canonical parser: the CLIs and the HTTP server both resolve user input
-// through it.
+// through it. Errors enumerate the valid names.
 func ParseLevel(s string) (Level, error) {
-	switch lvl := Level(strings.ToUpper(strings.TrimSpace(s))); lvl {
-	case core.SSER, core.SER, core.SI:
-		return lvl, nil
-	default:
-		return "", fmt.Errorf("checker: unknown isolation level %q (want SSER, SER or SI)", s)
+	lvl := Level(strings.ToUpper(strings.TrimSpace(s)))
+	for _, l := range AllLevels() {
+		if lvl == l {
+			return lvl, nil
+		}
 	}
+	return "", fmt.Errorf("checker: unknown isolation level %q (want %s)", s, LevelNames(AllLevels()))
 }
 
 // Options tunes a checker run.
@@ -117,9 +123,39 @@ type Report struct {
 	// components the history decomposed into. Zero when checking
 	// unsharded.
 	ShardComponents int `json:"shard_components,omitempty"`
+	// StrongestLevel reports the strongest isolation level the history
+	// satisfies, or "NONE" when every rung is violated. Only the profile
+	// checker (internal/levels) fills it; single-level runs leave it
+	// empty.
+	StrongestLevel Level `json:"strongest_level,omitempty"`
+	// Rungs carries the per-level verdicts of a profile run, weakest
+	// (RC) first, each with the witness breaking the rung.
+	Rungs []RungVerdict `json:"rungs,omitempty"`
+	// Guarantees carries the per-session guarantee verdicts of a
+	// profile run.
+	Guarantees []GuaranteeVerdict `json:"guarantees,omitempty"`
 	// Detail carries the engine-specific account: a counterexample
 	// rendering, solver statistics, or the divergence witness.
 	Detail string `json:"detail,omitempty"`
+}
+
+// RungVerdict is one lattice rung of a profile run on the wire.
+type RungVerdict struct {
+	Level Level `json:"level"`
+	OK    bool  `json:"ok"`
+	// Witness renders the anomaly, divergence or cycle breaking the
+	// rung; empty when OK.
+	Witness string `json:"witness,omitempty"`
+}
+
+// GuaranteeVerdict is one session guarantee of a profile run on the
+// wire. Session locates the first violating session (-1 when OK or when
+// a pre-check anomaly voids the guarantee globally).
+type GuaranteeVerdict struct {
+	Guarantee string `json:"guarantee"`
+	OK        bool   `json:"ok"`
+	Session   int    `json:"session,omitempty"`
+	Witness   string `json:"witness,omitempty"`
 }
 
 // UnsupportedHistoryError reports that an engine cannot process the

@@ -19,6 +19,10 @@ func TestRegistryContents(t *testing.T) {
 		"polysi":          {core.SI},
 		"elle":            {core.SER, core.SI},
 		"porcupine":       {core.SSER},
+		"rc":              {core.RC},
+		"ra":              {core.RA},
+		"causal":          {core.CAUSAL},
+		"profile":         {core.SI, core.SER, core.SSER, core.CAUSAL, core.RA, core.RC},
 	}
 	names := Names()
 	if len(names) != len(want) {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mtc/internal/core"
@@ -125,15 +126,41 @@ func TestLiveReportSerializesCounterexample(t *testing.T) {
 func TestParseLevel(t *testing.T) {
 	for in, want := range map[string]Level{
 		"SER": core.SER, "ser": core.SER, " si ": core.SI, "SSER": core.SSER,
+		"rc": core.RC, "RA": core.RA, "causal": core.CAUSAL,
 	} {
 		got, err := ParseLevel(in)
 		if err != nil || got != want {
 			t.Fatalf("ParseLevel(%q) = %q, %v; want %q", in, got, err, want)
 		}
 	}
-	for _, in := range []string{"", "SERIALIZABLE", "bogus"} {
-		if _, err := ParseLevel(in); err == nil {
+	for _, in := range []string{"", "SERIALIZABLE", "bogus", "NONE"} {
+		err := func() error { _, err := ParseLevel(in); return err }()
+		if err == nil {
 			t.Fatalf("ParseLevel(%q) must fail", in)
 		}
+		// The error must enumerate every valid name.
+		for _, l := range AllLevels() {
+			if !strings.Contains(err.Error(), string(l)) {
+				t.Fatalf("ParseLevel(%q) error %q does not name %s", in, err, l)
+			}
+		}
+	}
+}
+
+// TestProfileReportWireGolden pins the profile checker's wire format:
+// strongest level, per-rung verdicts and session guarantees.
+func TestProfileReportWireGolden(t *testing.T) {
+	f := history.FixtureByName("FracturedRead")
+	rep, err := Run(context.Background(), "profile", f.H, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Timings = nil // wall-clock is not golden material
+	goldenCompare(t, "report_profile.golden.json", rep)
+	if rep.StrongestLevel != core.RC {
+		t.Fatalf("strongest = %s, want RC", rep.StrongestLevel)
+	}
+	if len(rep.Rungs) != len(AllLevels()) || len(rep.Guarantees) != 4 {
+		t.Fatalf("profile shape: %d rungs, %d guarantees", len(rep.Rungs), len(rep.Guarantees))
 	}
 }

@@ -30,15 +30,46 @@ import (
 	"mtc/internal/history"
 )
 
-// Level names a strong isolation level checked by this package.
+// Level names an isolation level. This package's own engines check the
+// strong levels (SI and up); the weak rungs are evaluated by
+// internal/levels over the same dependency graph.
 type Level string
 
-// The supported isolation levels.
+// The supported isolation levels, strongest first.
 const (
-	SSER Level = "SSER" // strict serializability
-	SER  Level = "SER"  // serializability
-	SI   Level = "SI"   // snapshot isolation
+	SSER   Level = "SSER"   // strict serializability
+	SER    Level = "SER"    // serializability
+	SI     Level = "SI"     // snapshot isolation
+	CAUSAL Level = "CAUSAL" // causal consistency (checked by internal/levels)
+	RA     Level = "RA"     // read atomic (checked by internal/levels)
+	RC     Level = "RC"     // read committed (checked by internal/levels)
 )
+
+// Lattice returns every supported level in lattice order, weakest first:
+// RC < RA < CAUSAL < SI < SER < SSER. The chain is total for the levels
+// this repository checks (session guarantees are a separate axis).
+func Lattice() []Level { return []Level{RC, RA, CAUSAL, SI, SER, SSER} }
+
+// LatticeRank orders the lattice: 0 for RC up to 5 for SSER, -1 for any
+// other name (including the profile report's "NONE" pseudo-level).
+// Sharded merging and the profile walk compare rungs through it.
+func LatticeRank(l Level) int {
+	switch l {
+	case RC:
+		return 0
+	case RA:
+		return 1
+	case CAUSAL:
+		return 2
+	case SI:
+		return 3
+	case SER:
+		return 4
+	case SSER:
+		return 5
+	}
+	return -1
+}
 
 // Divergence is a witness of the DIVERGENCE pattern (Definition 10): two
 // distinct committed transactions Reader1 and Reader2 both read the value
@@ -340,6 +371,54 @@ func CheckSICtx(ctx context.Context, h *history.History, opts Options) (Result, 
 	return res, nil
 }
 
+// InduceSI builds the SI-induced graph G' = (V, (SO ∪ WR ∪ WW) ; RW?)
+// from a dependency graph and returns it with an expander that rewrites
+// any cycle of G' back into the underlying dependency edges. It is the
+// composition step of CheckSI, exported so internal/levels can evaluate
+// the SI rung of a profile over an already-derived graph with verdicts
+// and counterexamples bit-identical to CheckSICtx.
+func InduceSI(g *graph.Graph) (*graph.Graph, func([]graph.Edge) []graph.Edge) {
+	gi, expand := induceSI(g)
+	return gi, func(cycle []graph.Edge) []graph.Edge { return expandComposed(cycle, expand) }
+}
+
+// AddSparseRT returns a copy of the base dependency graph extended with
+// the O(n log n) sparse time-chain encoding of the real-time order — the
+// Options.SparseRT path of CheckSSER, exported for internal/levels'
+// SSER rung. Chain cycles must be rewritten with CompressAux before
+// reporting.
+func AddSparseRT(h *history.History, base *graph.Graph, par int) *graph.Graph {
+	return addSparseRT(h, base, par)
+}
+
+// RTOrder returns each transaction's start and finish positions in the
+// sorted real-time event sequence (the sparse chain's node order), or
+// -1 for aborted or untimed transactions. Two timed transactions T, S
+// satisfy finish(T) <rt start(S) — i.e. T really finished before S
+// started — iff finish[T] < start[S]: the chain's tie-breaking (starts
+// sort before finishes at equal timestamps) is baked into the ranks, so
+// callers can decide real-time precedence without building the chain.
+func RTOrder(h *history.History) (start, finish []int) {
+	events := rtEvents(h)
+	start = make([]int, len(h.Txns))
+	finish = make([]int, len(h.Txns))
+	for i := range start {
+		start[i], finish[i] = -1, -1
+	}
+	for i, ev := range events {
+		if ev.isStart {
+			start[ev.txn] = i
+		} else {
+			finish[ev.txn] = i
+		}
+	}
+	return start, finish
+}
+
+// CompressAux collapses every AUX time-chain run of a cycle into a
+// single RT edge, so sparse-RT counterexamples read like dense ones.
+func CompressAux(cycle []graph.Edge) []graph.Edge { return compressAux(cycle) }
+
 // composedKey identifies a composed edge for counterexample expansion.
 type composedKey struct{ from, to int }
 
@@ -396,35 +475,54 @@ func expandComposed(cycle []graph.Edge, expand map[composedKey][]graph.Edge) []g
 // sharded by source node over par workers (the chain edges stay serial —
 // they are O(n) and ordered).
 func addSparseRT(h *history.History, base *graph.Graph, par int) *graph.Graph {
-	type event struct {
-		time    int64
-		isStart bool
-		txn     int
-	}
-	var events []event
+	events := rtEvents(h)
+	n := base.Len()
+	g := graph.New(n + len(events))
+	_ = graph.ParallelDo(context.Background(), par, n, func(u int) {
+		g.AddEdgesFrom(u, base.Out(u))
+	})
+	appendRTChain(g, n, events)
+	return g
+}
+
+// rtEvent is one endpoint of a committed transaction's real-time span.
+type rtEvent struct {
+	time    int64
+	isStart bool
+	txn     int
+}
+
+// rtEvents collects the start/finish events of every committed timed
+// transaction, sorted by time. Starts sort before finishes at equal
+// timestamps so that finish(T) == start(S) does NOT yield an RT path
+// (RT is strict).
+func rtEvents(h *history.History) []rtEvent {
+	events := make([]rtEvent, 0, 2*len(h.Txns))
 	for i := range h.Txns {
 		t := &h.Txns[i]
 		if !t.Committed || t.Start == 0 && t.Finish == 0 {
 			continue
 		}
-		events = append(events, event{time: t.Start, isStart: true, txn: i})
-		events = append(events, event{time: t.Finish, isStart: false, txn: i})
+		events = append(events, rtEvent{time: t.Start, isStart: true, txn: i})
+		events = append(events, rtEvent{time: t.Finish, isStart: false, txn: i})
 	}
-	// Starts sort before finishes at equal timestamps so that
-	// finish(T) == start(S) does NOT yield an RT path (RT is strict).
 	sort.Slice(events, func(i, j int) bool {
 		if events[i].time != events[j].time {
 			return events[i].time < events[j].time
 		}
 		return events[i].isStart && !events[j].isStart
 	})
-	n := base.Len()
-	g := graph.New(n + len(events))
-	_ = graph.ParallelDo(context.Background(), par, n, func(u int) {
-		g.AddEdgesFrom(u, base.Out(u))
-	})
+	return events
+}
+
+// appendRTChain wires the sorted events into g as a time chain rooted at
+// node offset: each event links to the next, finishes hang their
+// transaction onto the chain, starts hang the chain onto the
+// transaction, so a path T ~> S through the chain exists iff
+// finish(T) < start(S).
+func appendRTChain(g *graph.Graph, offset int, events []rtEvent) {
 	for i, ev := range events {
-		node := n + i
+		node := offset + i
 		if i+1 < len(events) {
 			g.AddEdge(graph.Edge{From: node, To: node + 1, Kind: graph.AUX})
 		}
@@ -434,7 +532,6 @@ func addSparseRT(h *history.History, base *graph.Graph, par int) *graph.Graph {
 			g.AddEdge(graph.Edge{From: ev.txn, To: node, Kind: graph.AUX, Obj: "finish"})
 		}
 	}
-	return g
 }
 
 // compressAux rewrites a cycle that may traverse the sparse time chain,
@@ -490,6 +587,9 @@ func CheckCtx(ctx context.Context, h *history.History, lvl Level, opts Options) 
 	case SI:
 		return CheckSICtx(ctx, h, opts)
 	default:
-		return Result{}, fmt.Errorf("core: unknown level %q", lvl)
+		// RC/RA/CAUSAL are valid Level values but have no batch engine
+		// here; internal/levels evaluates them (and the checker registry
+		// routes the "rc"/"ra"/"causal"/"profile" entries there).
+		return Result{}, fmt.Errorf("core: no batch engine for level %q", lvl)
 	}
 }

@@ -24,6 +24,16 @@ func DeriveDeps(ix *history.Index, emit func(graph.Edge)) []Divergence {
 	return divs
 }
 
+// DeriveDepsCtx is DeriveDeps under a context: the derivation polls ctx
+// between batches of transactions and returns its error when the
+// deadline fires. Edge emission order is identical to DeriveDeps, so a
+// graph built from the emitted edges matches the one BuildDependency
+// constructs (internal/levels relies on this for bit-identical SER/SI
+// rungs).
+func DeriveDepsCtx(ctx context.Context, ix *history.Index, emit func(graph.Edge)) ([]Divergence, error) {
+	return deriveDeps(ctx, ix, emit)
+}
+
 // deriveDeps is DeriveDeps polling ctx between batches of transactions.
 func deriveDeps(ctx context.Context, ix *history.Index, emit func(graph.Edge)) ([]Divergence, error) {
 	n := ix.NumTxns()

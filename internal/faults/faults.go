@@ -88,6 +88,57 @@ func Bugs() []Bug {
 	}
 }
 
+// LevelBug pairs one isolation-lattice rung with the fault preset that
+// breaks exactly that rung: histories generated against the preset's
+// store satisfy every level strictly below Breaks and violate Breaks
+// (and, by lattice monotonicity, everything above it). The differential
+// suite uses this catalogue to check that the levels profiler localises
+// each injected anomaly to its rung.
+type LevelBug struct {
+	// Breaks is the weakest lattice level the fault violates.
+	Breaks core.Level
+	// Anomaly names the witness the profiler should surface at Breaks.
+	Anomaly string
+	// Mode is the substrate's concurrency-control mode.
+	Mode kv.Mode
+	// Faults is the injection preset.
+	Faults kv.Faults
+}
+
+// LevelBugs returns one fault preset per breakable lattice rung,
+// weakest first. SSER has no entry: real-time violations need a fault
+// that reorders commit timestamps, which the substrate applies
+// synchronously (the RealTimeViolation fixture covers that rung).
+func LevelBugs() []LevelBug {
+	return []LevelBug{
+		// Dirty aborts install the writes and then abort: readers observe
+		// an uncommitted value, which already breaks read committed.
+		{Breaks: core.RC, Anomaly: "AbortedRead", Mode: kv.ModeSI, Faults: kv.Faults{DirtyAbort: 0.25}},
+		// Per-key stale reads split one transaction's view of a two-key
+		// atomic update: the halves are fractured, breaking read atomicity
+		// while each individual read still observes committed data.
+		{Breaks: core.RA, Anomaly: "FracturedRead", Mode: kv.ModeSI, Faults: kv.Faults{LongFork: 0.3}},
+		// A whole-transaction stale snapshot is internally atomic but can
+		// contradict what the session already observed: causality breaks
+		// while reads stay committed and atomic.
+		{Breaks: core.CAUSAL, Anomaly: "CausalityViolation", Mode: kv.ModeSI, Faults: kv.Faults{StaleSnapshot: 0.3}},
+		// Skipping first-committer-wins lets two updates of the same
+		// version both commit: divergent version chains, the SI anomaly.
+		{Breaks: core.SI, Anomaly: "LostUpdate", Mode: kv.ModeSI, Faults: kv.Faults{LostUpdate: 0.4}},
+		// Skipping read-set validation admits write skew: snapshots stay
+		// consistent (SI holds) but no serial order exists.
+		{Breaks: core.SER, Anomaly: "WriteSkew", Mode: kv.ModeSerializable, Faults: kv.Faults{WriteSkew: 0.5}},
+	}
+}
+
+// NewStore builds a fresh faulty store for the level bug with the given
+// PRNG seed.
+func (lb LevelBug) NewStore(seed int64) *kv.Store {
+	f := lb.Faults
+	f.Seed = seed
+	return kv.NewFaultyStore(lb.Mode, f)
+}
+
 // BugByName returns the named bug preset, or nil.
 func BugByName(name string) *Bug {
 	for _, b := range Bugs() {

@@ -1,11 +1,13 @@
 package faults
 
 import (
+	"context"
 	"testing"
 
 	"mtc/internal/core"
 	"mtc/internal/history"
 	"mtc/internal/kv"
+	"mtc/internal/levels"
 	"mtc/internal/runner"
 	"mtc/internal/workload"
 )
@@ -118,6 +120,51 @@ func TestMongoDirtyAbortYieldsAbortedRead(t *testing.T) {
 		}
 	}
 	t.Fatal("AbortedRead anomaly never detected")
+}
+
+// TestLevelBugsBreakTheirRung profiles level-targeted workloads against
+// each per-rung fault preset: the injected anomaly must manifest at
+// exactly its lattice rung over some seed, and no seed may ever break a
+// rung strictly below it (the fault stays localised).
+func TestLevelBugsBreakTheirRung(t *testing.T) {
+	lbs := LevelBugs()
+	if len(lbs) != len(core.Lattice())-1 {
+		t.Fatalf("LevelBugs covers %d rungs, want every breakable one (%d)", len(lbs), len(core.Lattice())-1)
+	}
+	for _, lb := range lbs {
+		lb := lb
+		t.Run(string(lb.Breaks), func(t *testing.T) {
+			exact := false
+			for seed := int64(0); seed < 12; seed++ {
+				s := lb.NewStore(seed + 1)
+				w := workload.GenerateLevelTargeted(lb.Breaks, workload.TargetedConfig{
+					Sessions: 8, Txns: 80, Objects: 3, Seed: seed,
+				})
+				res := runner.Run(s, w, runner.Config{Retries: 4})
+				prof, err := levels.Profile(context.Background(), res.H, levels.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lowest := ""
+				for _, lvl := range core.Lattice() { // weakest first
+					if r := prof.Rung(lvl); !r.Res.OK {
+						lowest = string(lvl)
+						break
+					}
+				}
+				if lowest != "" && core.LatticeRank(core.Level(lowest)) < core.LatticeRank(lb.Breaks) {
+					t.Fatalf("seed %d: fault for %s broke %s below its rung:\n%s",
+						seed, lb.Breaks, lowest, prof.Rung(core.Level(lowest)).Witness())
+				}
+				if lowest == string(lb.Breaks) {
+					exact = true
+				}
+			}
+			if !exact {
+				t.Fatalf("fault never manifested at rung %s over 12 seeds", lb.Breaks)
+			}
+		})
+	}
 }
 
 func TestFaultFreeControl(t *testing.T) {

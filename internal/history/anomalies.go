@@ -20,6 +20,7 @@ const (
 	IntermediateRead                      // reads a non-final write of another txn (G1b)
 	NonRepeatableReads                    // two reads of the same object differ
 	DuplicateWrite                        // unique-value assumption violated (Definition 9)
+	FracturedRead                         // observed part of a writer's update, missed the rest (Read Atomic)
 )
 
 // String returns the anomaly's conventional name.
@@ -41,6 +42,8 @@ func (k AnomalyKind) String() string {
 		return "NonRepeatableReads"
 	case DuplicateWrite:
 		return "DuplicateWrite"
+	case FracturedRead:
+		return "FracturedRead"
 	default:
 		return fmt.Sprintf("AnomalyKind(%d)", uint8(k))
 	}
@@ -48,7 +51,7 @@ func (k AnomalyKind) String() string {
 
 // ParseAnomalyKind maps a conventional anomaly name back to its kind.
 func ParseAnomalyKind(s string) (AnomalyKind, error) {
-	for k := ThinAirRead; k <= DuplicateWrite; k++ {
+	for k := ThinAirRead; k <= FracturedRead; k++ {
 		if k.String() == s {
 			return k, nil
 		}

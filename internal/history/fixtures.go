@@ -10,13 +10,42 @@ type Fixture struct {
 	H         *History
 	PreCheck  bool // caught by CheckInternal
 	AnomalyAt AnomalyKind
-	// Expected checker verdicts (true = the history VIOLATES the level).
-	ViolatesSSER bool
-	ViolatesSER  bool
-	ViolatesSI   bool
+	// Expected checker verdicts (true = the history VIOLATES the level),
+	// covering the full lattice RC < RA < CAUSAL < SI < SER < SSER. The
+	// verdicts are monotone: a violated rung implies every stronger rung
+	// is violated too.
+	ViolatesSSER   bool
+	ViolatesSER    bool
+	ViolatesSI     bool
+	ViolatesCausal bool
+	ViolatesRA     bool
+	ViolatesRC     bool
 }
 
-// Fixtures returns fresh copies of all 14 anomaly histories of Figure 5.
+// Violates reports the fixture's expected verdict for a level given by
+// its conventional name (true = the history violates it). Unknown names
+// report false.
+func (f *Fixture) Violates(level string) bool {
+	switch level {
+	case "SSER":
+		return f.ViolatesSSER
+	case "SER":
+		return f.ViolatesSER
+	case "SI":
+		return f.ViolatesSI
+	case "CAUSAL":
+		return f.ViolatesCausal
+	case "RA":
+		return f.ViolatesRA
+	case "RC":
+		return f.ViolatesRC
+	}
+	return false
+}
+
+// Fixtures returns fresh copies of the 14 anomaly histories of Figure 5
+// plus one minimal violating history for each remaining lattice rung
+// (G1cCycle for RC, RealTimeViolation for SSER).
 // Values follow the figure where possible; where the figure's values would
 // collide with the initial transaction's value 0, distinct values are
 // substituted without changing the dependency structure.
@@ -36,6 +65,8 @@ func Fixtures() []Fixture {
 		longFork(),
 		lostUpdate(),
 		writeSkew(),
+		g1cCycle(),
+		realTimeViolation(),
 	}
 }
 
@@ -51,13 +82,20 @@ func FixtureByName(name string) *Fixture {
 }
 
 func pre(name string, kind AnomalyKind, h *History) Fixture {
+	// Pre-check anomalies void the axioms of every rung at once.
 	return Fixture{Name: name, H: h, PreCheck: true, AnomalyAt: kind,
-		ViolatesSSER: true, ViolatesSER: true, ViolatesSI: true}
+		ViolatesSSER: true, ViolatesSER: true, ViolatesSI: true,
+		ViolatesCausal: true, ViolatesRA: true, ViolatesRC: true}
 }
 
-func dep(name string, h *History, violatesSI bool) Fixture {
+// dep builds a dependency-level fixture: every such history violates
+// SER/SSER; the weak verdicts name the exact rung where it starts
+// failing (the arguments are ordered strongest-to-weakest and must be
+// monotone).
+func dep(name string, h *History, violatesSI, violatesCausal, violatesRA, violatesRC bool) Fixture {
 	return Fixture{Name: name, H: h,
-		ViolatesSSER: true, ViolatesSER: true, ViolatesSI: violatesSI}
+		ViolatesSSER: true, ViolatesSER: true, ViolatesSI: violatesSI,
+		ViolatesCausal: violatesCausal, ViolatesRA: violatesRA, ViolatesRC: violatesRC}
 }
 
 // Figure 5a: T reads a value that no transaction ever wrote.
@@ -123,7 +161,9 @@ func sessionGuaranteeViolation() Fixture {
 	b.Txn(0, R("x", 0), W("x", 1)) // T1
 	b.Txn(1, R("x", 1), W("x", 2)) // T2
 	b.Txn(1, R("x", 1))            // T3, same session as T2, misses T2
-	return dep("SessionGuaranteeViolation", b.Build(), true)
+	// T3's stale read breaks read-your-writes and causality, but the
+	// write/read dependencies alone are acyclic and nothing is fractured.
+	return dep("SessionGuaranteeViolation", b.Build(), true, true, false, false)
 }
 
 // Figure 5i: T3 reads y from T2 and then x from T1, although T2 overwrote
@@ -133,7 +173,9 @@ func nonMonotonicRead() Fixture {
 	b.Txn(0, R("x", 0), W("x", 1))                       // T1
 	b.Txn(1, R("x", 1), W("x", 2), R("y", 0), W("y", 3)) // T2
 	b.Txn(2, R("y", 3), R("x", 1))                       // T3
-	return dep("NonMonotonicRead", b.Build(), true)
+	// T3 observes T2's y but a strictly older x than T2's: a fractured
+	// view of T2's update, so the history already fails Read Atomic.
+	return dep("NonMonotonicRead", b.Build(), true, true, true, false)
 }
 
 // Figure 5j: T1 updates both x and y but T2 observes only the x update:
@@ -142,7 +184,8 @@ func fracturedRead() Fixture {
 	b := NewBuilder("x", "y")
 	b.Txn(0, R("x", 0), W("x", 1), R("y", 0), W("y", 2)) // T1
 	b.Txn(1, R("x", 1), R("y", 0))                       // T2
-	return dep("FracturedRead", b.Build(), true)
+	// The defining Read Atomic violation: only RC survives.
+	return dep("FracturedRead", b.Build(), true, true, true, false)
 }
 
 // Figure 5k: T3 sees T2's effect on y but misses T1's effect on x, which
@@ -153,7 +196,9 @@ func causalityViolation() Fixture {
 	b.Txn(0, R("x", 0), W("x", 1))            // T1
 	b.Txn(1, R("x", 1), R("y", 0), W("y", 2)) // T2 sees T1
 	b.Txn(2, R("y", 2), R("x", 0))            // T3 sees T2 but not T1
-	return dep("CausalityViolation", b.Build(), true)
+	// T3's view is atomic per writer (it sees T2's whole update and none
+	// of T1's y... T1 wrote only x), so RA holds; causality does not.
+	return dep("CausalityViolation", b.Build(), true, true, false, false)
 }
 
 // Figure 5l: concurrent T1, T2 write x and y; T3 observes only T1, T4
@@ -164,7 +209,9 @@ func longFork() Fixture {
 	b.Txn(1, R("y", 0), W("y", 2)) // T2
 	b.Txn(2, R("x", 1), R("y", 0)) // T3
 	b.Txn(3, R("x", 0), R("y", 2)) // T4
-	return dep("LongFork", b.Build(), true)
+	// The two forks are causally incomparable: every weak rung passes,
+	// the history first fails at SI.
+	return dep("LongFork", b.Build(), true, false, false, false)
 }
 
 // Figure 5m: T1 and T2 both read x from ⊥T and write different values: the
@@ -174,7 +221,9 @@ func lostUpdate() Fixture {
 	b.Txn(0, R("x", 0), W("x", 1)) // T1
 	b.Txn(1, R("x", 0), W("x", 2)) // T2
 	b.Txn(2, R("x", 2))            // T3 observes T2
-	return dep("LostUpdate", b.Build(), true)
+	// Divergence is rejected exactly at SI; the concurrent updates are
+	// causally incomparable, so the weak rungs all pass.
+	return dep("LostUpdate", b.Build(), true, false, false, false)
 }
 
 // Figure 5n: T1 and T2 read both x and y and then write x and y
@@ -183,7 +232,27 @@ func writeSkew() Fixture {
 	b := NewBuilder("x", "y")
 	b.Txn(0, R("x", 0), R("y", 0), W("x", 1)) // T1
 	b.Txn(1, R("x", 0), R("y", 0), W("y", 2)) // T2
-	return dep("WriteSkew", b.Build(), false)
+	return dep("WriteSkew", b.Build(), false, false, false, false)
+}
+
+// G1c: T1 and T2 each read the other's write, closing a cycle of pure
+// write/read dependencies — the one dependency anomaly Read Committed
+// itself forbids. Every rung of the lattice is violated.
+func g1cCycle() Fixture {
+	b := NewBuilder("x", "y")
+	b.Txn(0, R("x", 0), W("x", 1), R("y", 2)) // T1 reads T2's y
+	b.Txn(1, R("y", 0), W("y", 2), R("x", 1)) // T2 reads T1's x
+	return dep("G1cCycle", b.Build(), true, true, true, true)
+}
+
+// A serializable history that violates only real-time order: T1 reads
+// the value that T2 — which starts after T1 finishes — later writes.
+// Only SSER rejects it; its strongest satisfied level is SER.
+func realTimeViolation() Fixture {
+	b := NewBuilder("x")
+	b.TimedTxn(0, 10, 20, R("x", 1))            // T1 finishes before T2 starts
+	b.TimedTxn(1, 30, 40, R("x", 0), W("x", 1)) // T2
+	return Fixture{Name: "RealTimeViolation", H: b.Build(), ViolatesSSER: true}
 }
 
 // SerialHistory returns a small, obviously correct history: n transactions

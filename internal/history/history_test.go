@@ -303,8 +303,10 @@ func TestFixtureByName(t *testing.T) {
 }
 
 func TestFixtureCount(t *testing.T) {
-	if n := len(Fixtures()); n != 14 {
-		t.Fatalf("want 14 fixtures (Table I), got %d", n)
+	// The 14 anomaly histories of Table I plus the per-rung lattice
+	// fixtures (G1cCycle, RealTimeViolation).
+	if n := len(Fixtures()); n != 16 {
+		t.Fatalf("want 16 fixtures, got %d", n)
 	}
 }
 

@@ -1,0 +1,465 @@
+package levels
+
+import (
+	"context"
+
+	"mtc/internal/core"
+	"mtc/internal/graph"
+	"mtc/internal/history"
+)
+
+// derived holds the one dependency derivation every rung shares: the
+// full typed graph (SO ∪ WR ∪ WW ∪ RW), the divergence witnesses, the
+// WW edges (for the per-key version forest), all from a single
+// core.DeriveDeps pass over a single history.Index.
+type derived struct {
+	ix   *history.Index
+	g    *graph.Graph
+	divs []core.Divergence
+	ww   []graph.Edge
+	f    *wwForest // built lazily; only weak rungs and guarantees need it
+}
+
+// deriveShared builds the shared graph. Edge insertion order — session
+// order first, then the derivation's WR/WW/RW order — replicates
+// buildDependencyCtx exactly, so cycle searches over d.g return the
+// same counterexamples as the dedicated engines (the differential
+// suite holds the SER/SI rungs to bit-identical results).
+func deriveShared(ctx context.Context, ix *history.Index) (*derived, error) {
+	h := ix.History()
+	g := graph.New(len(h.Txns))
+	h.SessionOrder(func(a, b int) {
+		g.AddEdge(graph.Edge{From: a, To: b, Kind: graph.SO})
+	})
+	d := &derived{ix: ix, g: g}
+	// One WW edge per non-root writer slot, modulo re-emissions for
+	// repeated reads — NumWriterSlots is the right capacity to reserve.
+	d.ww = make([]graph.Edge, 0, ix.NumWriterSlots())
+	divs, err := core.DeriveDepsCtx(ctx, ix, func(e graph.Edge) {
+		g.AddEdge(e)
+		if e.Kind == graph.WW {
+			d.ww = append(d.ww, e)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.divs = divs
+	return d, nil
+}
+
+// pass is the result of a rung settled by a stronger rung's verdict.
+func (d *derived) pass(lvl core.Level) core.Result {
+	return core.Result{Level: lvl, OK: true, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
+}
+
+// checkSER is the SER rung: acyclicity of the full graph, matching
+// core.CheckSERCtx on the shared derivation.
+func (d *derived) checkSER() core.Result {
+	res := core.Result{Level: core.SER, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
+	if cycle := d.g.FindCycle(); cycle != nil {
+		res.Cycle = cycle
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+// checkSI is the SI rung, matching core.CheckSICtx: reject on a
+// divergence witness, else search the induced graph.
+func (d *derived) checkSI(ctx context.Context) (core.Result, error) {
+	res := core.Result{Level: core.SI, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
+	if len(d.divs) > 0 {
+		div := d.divs[0]
+		res.Divergence = &div
+		return res, nil
+	}
+	gi, expand := core.InduceSI(d.g)
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	if cycle := gi.FindCycle(); cycle != nil {
+		res.Cycle = expand(cycle)
+		return res, nil
+	}
+	res.OK = true
+	return res, nil
+}
+
+// checkSSER is the SSER rung. A SER cycle survives the addition of
+// real-time edges, so it is reused as the witness. Otherwise the rung
+// decides strict serializability without materializing the time chain:
+// the dependency DAG plus real-time edges has a cycle iff some
+// dependency path S ~> T is inverted in real time — T finished before S
+// started. (On any mixed cycle, take the real-time edge whose target's
+// start rank is maximal; the dependency path feeding that edge's source
+// is then inverted.) One memoized depth-first pass computing each
+// node's minimum descendant finish rank decides this in O(V+E), several
+// times cheaper than a cycle search over the chained graph. Only on
+// violation — off the clean-history hot path — does the rung fall back
+// to the dedicated sparse-chain engine for the usual compressed cycle
+// witness.
+func (d *derived) checkSSER(ctx context.Context, ser core.Result, par int) (core.Result, error) {
+	res := core.Result{Level: core.SSER, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
+	if !ser.OK {
+		res.Cycle = ser.Cycle
+		return res, nil
+	}
+	start, finish := core.RTOrder(d.ix.History())
+	// mnf[u] = the minimum finish rank over u's strict descendants in the
+	// dependency DAG (inf when none is timed): u is inverted iff some
+	// descendant finished before u started. One memoized post-order DFS —
+	// the SER rung just proved acyclicity, so every node settles once.
+	const inf = int32(1) << 30
+	n := d.g.Len()
+	mnf := make([]int32, n)
+	state := make([]uint8, n) // 0 unvisited, 1 opened, 2 settled
+	for i := range mnf {
+		mnf[i] = inf
+	}
+	violated := false
+	stack := make([]int32, 0, 1024)
+scan:
+	for s := 0; s < n; s++ {
+		if state[s] != 0 {
+			continue
+		}
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v < 0 { // post-visit: children settled, fold their minima
+				u := ^v
+				m := inf
+				for _, e := range d.g.Out(int(u)) {
+					cm := mnf[e.To]
+					if f := finish[e.To]; f >= 0 && int32(f) < cm {
+						cm = int32(f)
+					}
+					if cm < m {
+						m = cm
+					}
+				}
+				mnf[u] = m
+				state[u] = 2
+				if r := start[u]; r >= 0 && m < int32(r) {
+					violated = true
+					break scan
+				}
+				continue
+			}
+			if state[v] != 0 { // re-pushed by a later parent, already settled
+				continue
+			}
+			state[v] = 1
+			stack = append(stack, ^v)
+			for _, e := range d.g.Out(int(v)) {
+				if state[e.To] == 0 {
+					stack = append(stack, int32(e.To))
+				}
+			}
+		}
+	}
+	if !violated {
+		res.OK = true
+		return res, nil
+	}
+	// Materialize the witness the long way: the sparse-chain engine
+	// reports the compressed time-order cycle. The pre-check already
+	// passed (the lattice walk reached this rung), so skip it.
+	return core.CheckSSERCtx(ctx, d.ix.History(), core.Options{
+		SkipPreCheck: true, SparseRT: true, Parallelism: par,
+	})
+}
+
+// checkRC is the RC rung. G0/G1a/G1b are the pre-check's anomalies;
+// what remains is G1c — a cycle of write/read dependencies alone — so
+// the rung filters the shared graph down to WR ∪ WW and searches that.
+func (d *derived) checkRC() core.Result {
+	res := core.Result{Level: core.RC, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
+	n := d.g.Len()
+	g1 := graph.New(n)
+	for u := 0; u < n; u++ {
+		for _, e := range d.g.Out(u) {
+			if e.Kind == graph.WR || e.Kind == graph.WW {
+				g1.AddEdge(e)
+			}
+		}
+	}
+	if cycle := g1.FindCycle(); cycle != nil {
+		res.Cycle = cycle
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+// checkRA is the RA rung: RC's G1c plus fractured reads.
+func (d *derived) checkRA(rc core.Result) core.Result {
+	res := core.Result{Level: core.RA, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
+	if !rc.OK {
+		res.Cycle = rc.Cycle
+		res.Anomalies = rc.Anomalies
+		return res
+	}
+	if as := d.fracturedReads(); len(as) > 0 {
+		res.Anomalies = as
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+// fracturedReads scans every committed transaction's footprint for
+// RAMP's atomic-visibility violation: the transaction reads key x from
+// writer W, W also wrote key y, and the transaction's read of y
+// observed a version STRICTLY OLDER than W's in y's version order — it
+// saw part of W's update and provably missed the rest. Versions on a
+// divergent branch are incomparable and never flagged (that situation
+// is divergence, rejected at the SI rung), which keeps the lattice
+// monotone: every fractured read forces an RW edge back into the
+// reader's causal past, so RA failures here are causal failures too.
+func (d *derived) fracturedReads() []history.Anomaly {
+	ix := d.ix
+	f := d.forest()
+	h := ix.History()
+	var out []history.Anomaly
+	for t := range h.Txns {
+		if !h.Txns[t].Committed {
+			continue
+		}
+		rk, rv := ix.Reads(t)
+		if len(rk) < 2 {
+			continue
+		}
+		for j, y := range rk {
+			v := ix.Writer(y, rv[j])
+			if v < 0 || v == t {
+				continue
+			}
+			for i := range rk {
+				if i == j || rk[i] == y {
+					continue
+				}
+				w := ix.Writer(rk[i], rv[i])
+				if w < 0 || w == t || w == v {
+					continue
+				}
+				if _, writes := ix.WriteVal(w, y); !writes {
+					continue
+				}
+				if f.strictlyBefore(y, v, w) {
+					out = append(out, history.Anomaly{
+						Kind: history.FracturedRead, Txn: t, Key: ix.KeyName(y), Value: rv[j],
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkCausal is the CAUSAL rung. The causal order CO is the transitive
+// closure of SO ∪ WR; the history is causally consistent iff CO is a
+// partial order (acyclic) and no transaction misses a causally prior
+// write: an anti-dependency T -RW-> S with S ~>CO T means T read a
+// version that S — already in T's causal past — had overwritten. Both
+// violations surface as a cycle witness: the CO path closed by the RW
+// edge. Reachability over the acyclic CO uses the bitset closure.
+func (d *derived) checkCausal(ctx context.Context, par int) (core.Result, error) {
+	res := core.Result{Level: core.CAUSAL, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
+	n := d.g.Len()
+	co := graph.New(n)
+	var rws []graph.Edge
+	for u := 0; u < n; u++ {
+		for _, e := range d.g.Out(u) {
+			switch e.Kind {
+			case graph.SO, graph.WR:
+				co.AddEdge(e)
+			case graph.RW:
+				rws = append(rws, e)
+			}
+		}
+	}
+	if cycle := co.FindCycle(); cycle != nil {
+		res.Cycle = cycle
+		return res, nil
+	}
+	if len(rws) == 0 {
+		res.OK = true
+		return res, nil
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		outs := co.Out(u)
+		if len(outs) == 0 {
+			continue
+		}
+		row := make([]int, len(outs))
+		for i, e := range outs {
+			row[i] = e.To
+		}
+		adj[u] = row
+	}
+	cl, _, err := graph.NewClosure(ctx, n, adj, par)
+	if err != nil {
+		return core.Result{}, err
+	}
+	for _, rw := range rws {
+		if cl.Reach(rw.To, rw.From) {
+			res.Cycle = liftCycle(co, rw)
+			return res, nil
+		}
+	}
+	res.OK = true
+	return res, nil
+}
+
+// liftCycle materializes the causal counterexample for an RW edge whose
+// target reaches its source in CO: the shortest CO path rw.To ~> rw.From
+// (BFS) followed by the RW edge itself, a closed cycle of real edges.
+func liftCycle(co *graph.Graph, rw graph.Edge) []graph.Edge {
+	n := co.Len()
+	parent := make([]graph.Edge, n)
+	seen := make([]bool, n)
+	queue := make([]int, 0, 64)
+	queue = append(queue, rw.To)
+	seen[rw.To] = true
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		if u == rw.From {
+			break
+		}
+		for _, e := range co.Out(u) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				parent[e.To] = e
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if !seen[rw.From] {
+		// Unreachable contradicts the closure query; degrade to the bare
+		// RW edge rather than panic.
+		return []graph.Edge{rw}
+	}
+	var path []graph.Edge
+	for v := rw.From; v != rw.To; v = parent[v].From {
+		path = append(path, parent[v])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return append(path, rw)
+}
+
+// forest returns the per-key version forest, building it on first use.
+func (d *derived) forest() *wwForest {
+	if d.f == nil {
+		d.f = newWWForest(d.ix, d.ww)
+	}
+	return d.f
+}
+
+// wwForest answers ancestor queries over each key's version order in
+// O(1). The derivation emits a WW edge only for RMW readers, so every
+// key's versions form a forest: parent = the version the writer read
+// and replaced. Preorder intervals (tin, tout) from an iterative DFS
+// decide ancestry; versions on divergent branches are incomparable.
+// Slots reuse the index's dense (key, writer) numbering.
+type wwForest struct {
+	ix     *history.Index
+	parent []int32
+	tin    []int32
+	tout   []int32
+}
+
+func newWWForest(ix *history.Index, ww []graph.Edge) *wwForest {
+	ns := ix.NumWriterSlots()
+	f := &wwForest{
+		ix:     ix,
+		parent: make([]int32, ns),
+		tin:    make([]int32, ns),
+		tout:   make([]int32, ns),
+	}
+	for i := range f.parent {
+		f.parent[i] = -1
+	}
+	cnt := make([]int32, ns+1)
+	for _, e := range ww {
+		k, ok := ix.KeyIDOf(history.Key(e.Obj))
+		if !ok {
+			continue
+		}
+		sp := ix.WriterSlot(k, int32(e.From))
+		sc := ix.WriterSlot(k, int32(e.To))
+		if sp < 0 || sc < 0 || f.parent[sc] >= 0 {
+			continue // repeated reads re-emit the same WW edge; link once
+		}
+		f.parent[sc] = int32(sp)
+		cnt[sp+1]++
+	}
+	for i := 0; i < ns; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	children := make([]int32, cnt[ns])
+	fill := make([]int32, ns)
+	copy(fill, cnt[:ns])
+	for sc, sp := range f.parent {
+		if sp >= 0 {
+			children[fill[sp]] = int32(sc)
+			fill[sp]++
+		}
+	}
+	var timer int32
+	stack := make([]int32, 0, 64)
+	for s := 0; s < ns; s++ {
+		if f.parent[s] >= 0 {
+			continue
+		}
+		// Two-phase DFS: a node is pushed once as itself and once as
+		// ^v (post-visit marker) to stamp tout after its subtree.
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v < 0 {
+				f.tout[^v] = timer
+				continue
+			}
+			f.tin[v] = timer
+			timer++
+			stack = append(stack, ^v)
+			for i := cnt[v]; i < cnt[v+1]; i++ {
+				stack = append(stack, children[i])
+			}
+		}
+	}
+	return f
+}
+
+// before reports whether writer a's version of key k precedes or equals
+// writer b's in the key's version order (a -WW*-> b). False when either
+// writer is not a committed writer of k, or the versions are on
+// divergent branches (incomparable).
+func (f *wwForest) before(k history.KeyID, a, b int) bool {
+	sa := f.ix.WriterSlot(k, int32(a))
+	sb := f.ix.WriterSlot(k, int32(b))
+	if sa < 0 || sb < 0 {
+		return false
+	}
+	return f.slotBefore(int32(sa), int32(sb))
+}
+
+// slotBefore is before on precomputed writer slots (both >= 0): two
+// preorder-interval reads, no lookups.
+func (f *wwForest) slotBefore(sa, sb int32) bool {
+	return f.tin[sa] <= f.tin[sb] && f.tin[sb] < f.tout[sa]
+}
+
+// strictlyBefore reports a -WW+-> b: a's version of k is a strict
+// ancestor of b's.
+func (f *wwForest) strictlyBefore(k history.KeyID, a, b int) bool {
+	return a != b && f.before(k, a, b)
+}

@@ -102,6 +102,48 @@ func TestJobLifecycle(t *testing.T) {
 }
 
 // TestJobValidation covers the submit-time error envelope.
+// TestProfileAndWeakLevelJobs drives the lattice checkers through the
+// job API: a profile job must report the strongest level with per-rung
+// and guarantee verdicts, and the weak single-level checkers must be
+// addressable by name.
+func TestProfileAndWeakLevelJobs(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	f := history.FixtureByName("FracturedRead")
+	resp, job := submitJob(t, ts, api.JobRequest{Checker: "profile", History: f.H})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit profile: %d", resp.StatusCode)
+	}
+	job = waitJob(t, ts, job.ID, 5*time.Second)
+	if job.State != api.JobDone || job.Report == nil {
+		t.Fatalf("profile job: %+v", job)
+	}
+	if job.Report.StrongestLevel != "RC" {
+		t.Fatalf("strongest = %s, want RC", job.Report.StrongestLevel)
+	}
+	if len(job.Report.Rungs) != 6 || len(job.Report.Guarantees) != 4 {
+		t.Fatalf("profile shape: %d rungs, %d guarantees", len(job.Report.Rungs), len(job.Report.Guarantees))
+	}
+
+	for name, wantOK := range map[string]bool{"rc": true, "ra": false, "causal": false} {
+		resp, job := submitJob(t, ts, api.JobRequest{Checker: name, History: f.H})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %d", name, resp.StatusCode)
+		}
+		job = waitJob(t, ts, job.ID, 5*time.Second)
+		if job.State != api.JobDone || job.Report == nil || job.Report.OK != wantOK {
+			t.Fatalf("%s job on FracturedRead: %+v", name, job)
+		}
+	}
+
+	// A weak level on an engine that does not support it must 400.
+	resp, _ = submitJob(t, ts, api.JobRequest{Checker: "mtc", Level: "RC", History: f.H})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mtc at RC: %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestJobValidation(t *testing.T) {
 	ts := httptest.NewServer(Handler())
 	defer ts.Close()

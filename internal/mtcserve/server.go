@@ -387,7 +387,7 @@ func (s *Server) handleCheckers(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	lvl, lvlErr := parseLevelParam(r)
 	if lvlErr != nil {
-		httpError(w, http.StatusBadRequest, "unknown level %q (want SSER, SER or SI)", r.URL.Query().Get("level"))
+		httpError(w, http.StatusBadRequest, "%v", lvlErr)
 		return
 	}
 	name := r.URL.Query().Get("checker")
@@ -481,12 +481,18 @@ func (s *Server) fixtureReport(r *http.Request) (checker.Report, int, error) {
 	}
 	lvl, err := parseLevelParam(r)
 	if err != nil {
-		return checker.Report{}, http.StatusBadRequest, fmt.Errorf("unknown level %q (want SSER, SER or SI)", r.URL.Query().Get("level"))
+		return checker.Report{}, http.StatusBadRequest, err
 	}
 	if lvl == "" {
 		lvl = core.SI
 	}
-	rep, err := s.reg.Run(r.Context(), "mtc", f.H, checker.Options{Level: lvl})
+	// The MTC engine serves the strong levels; the weak lattice rungs
+	// route through the profile checker, which supports all of them.
+	engine := "mtc"
+	if core.LatticeRank(lvl) < core.LatticeRank(core.SI) {
+		engine = "profile"
+	}
+	rep, err := s.reg.Run(r.Context(), engine, f.H, checker.Options{Level: lvl})
 	if err != nil {
 		return checker.Report{}, http.StatusBadRequest, err
 	}

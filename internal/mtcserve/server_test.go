@@ -118,7 +118,7 @@ func TestFixturesEndpoints(t *testing.T) {
 	var names []string
 	_ = json.NewDecoder(resp.Body).Decode(&names)
 	resp.Body.Close()
-	if len(names) != 14 {
+	if len(names) != 16 {
 		t.Fatalf("names = %v", names)
 	}
 	resp, err = http.Get(ts.URL + "/fixtures/WriteSkew?level=SI")

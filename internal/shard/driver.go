@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mtc/internal/checker"
+	"mtc/internal/core"
 	"mtc/internal/graph"
 	"mtc/internal/history"
 )
@@ -145,7 +146,14 @@ func Check(ctx context.Context, c checker.Checker, h *history.History, opts chec
 //     external transaction id is minimal — with its edges remapped, so
 //     FirstOffense(merged) is the minimum across components;
 //   - edge counts, per-phase timings (by phase name) and compaction
-//     stats are summed; Txns is the source history's size.
+//     stats are summed; Txns is the source history's size;
+//   - profile fields fold exactly because no dependency edge or session
+//     crosses components: each lattice rung is the per-component
+//     conjunction, the strongest level is the lattice minimum, and each
+//     session guarantee is the conjunction. Rung and guarantee witnesses
+//     are engine-rendered strings, so a violated entry keeps the first
+//     offending component's witness prefixed with its component index
+//     (the transaction/session ids in it are component-local).
 //
 // Engine-specific Detail strings are kept from the first-offending
 // component; structured fields (anomalies, cycle edges) always carry
@@ -161,8 +169,11 @@ func Merge(p *Partition, engine string, lvl checker.Level, reports []checker.Rep
 	offenderAt := -1 // its FirstOffense
 	var phaseOrder []string
 	phaseSum := make(map[string]float64)
+	rungAt := make(map[checker.Level]int) // level -> index in out.Rungs
+	guarAt := make(map[string]int)        // guarantee -> index in out.Guarantees
 	for i := range reports {
 		rep := remap(&p.Components[i], reports[i])
+		mergeProfile(&out, rep, i, rungAt, guarAt)
 		if n := len(p.Components[i].H.Txns); n > largest {
 			largest = n
 		}
@@ -198,6 +209,44 @@ func Merge(p *Partition, engine string, lvl checker.Level, reports []checker.Rep
 		out.Detail = summary
 	}
 	return out
+}
+
+// mergeProfile folds component i's profile fields (strongest level,
+// lattice rungs, session guarantees) into the merged report. Rungs and
+// guarantees conjoin per entry; a newly violated entry adopts the
+// component's witness, prefixed with the component index since the ids
+// inside are component-local.
+func mergeProfile(out *checker.Report, rep checker.Report, i int, rungAt map[checker.Level]int, guarAt map[string]int) {
+	if rep.StrongestLevel != "" {
+		if out.StrongestLevel == "" ||
+			core.LatticeRank(rep.StrongestLevel) < core.LatticeRank(out.StrongestLevel) {
+			out.StrongestLevel = rep.StrongestLevel
+		}
+	}
+	for _, rv := range rep.Rungs {
+		at, seen := rungAt[rv.Level]
+		if !seen {
+			at = len(out.Rungs)
+			rungAt[rv.Level] = at
+			out.Rungs = append(out.Rungs, checker.RungVerdict{Level: rv.Level, OK: true})
+		}
+		if !rv.OK && out.Rungs[at].OK {
+			out.Rungs[at].OK = false
+			out.Rungs[at].Witness = fmt.Sprintf("component %d: %s", i, rv.Witness)
+		}
+	}
+	for _, gv := range rep.Guarantees {
+		at, seen := guarAt[gv.Guarantee]
+		if !seen {
+			at = len(out.Guarantees)
+			guarAt[gv.Guarantee] = at
+			out.Guarantees = append(out.Guarantees, checker.GuaranteeVerdict{Guarantee: gv.Guarantee, OK: true, Session: -1})
+		}
+		if !gv.OK && out.Guarantees[at].OK {
+			out.Guarantees[at].OK = false
+			out.Guarantees[at].Witness = fmt.Sprintf("component %d: %s", i, gv.Witness)
+		}
+	}
 }
 
 // remap rewrites a component report's transaction ids (anomalies and

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"math/rand"
+
+	"mtc/internal/core"
 )
 
 // TargetedConfig parameterizes the anomaly-guided MT generator, one of the
@@ -70,6 +72,77 @@ func GenerateTargeted(cfg TargetedConfig) *Workload {
 				ops = []OpSpec{{SpecRead, a}}
 			default: // cold refresh
 				ops = []OpSpec{cold()}
+			}
+			txns[i] = TxnSpec{Ops: ops}
+		}
+		w.Sessions = append(w.Sessions, txns)
+	}
+	return w
+}
+
+// GenerateLevelTargeted plans an MT workload whose transaction mix
+// concentrates on the collision shapes that break one lattice rung, for
+// hunting a specific per-level fault (see faults.LevelBugs):
+//
+//   - RC:     dense RMW plus single readers — any read can land on a
+//     dirty-aborted write.
+//   - RA:     two-key atomic updates plus two-key observers — the
+//     observer straddling an update is a fractured read.
+//   - CAUSAL: write chains a-then-b per session plus observers reading
+//     b-then-a across consecutive transactions — a stale snapshot
+//     between the two observations inverts causality.
+//   - SI:     racing RMW on one hot key — the lost-update shape.
+//   - SER:    write-skew halves R(a)W(b) / R(b)W(a).
+//
+// Unknown levels fall back to the uniform anomaly mix of
+// GenerateTargeted.
+func GenerateLevelTargeted(lvl core.Level, cfg TargetedConfig) *Workload {
+	if cfg.Sessions <= 0 || cfg.Txns <= 0 || cfg.Objects <= 0 {
+		panic("workload: TargetedConfig requires positive parameters")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	hotA := KeyName(0)
+	hotB := hotA
+	if cfg.Objects > 1 {
+		hotB = KeyName(1)
+	}
+	w := &Workload{Keys: KeyUniverse(cfg.Objects)}
+	for s := 0; s < cfg.Sessions; s++ {
+		txns := make([]TxnSpec, cfg.Txns)
+		for i := range txns {
+			a, b := hotA, hotB
+			if rng.Intn(2) == 0 {
+				a, b = b, a
+			}
+			var ops []OpSpec
+			switch lvl {
+			case core.RC:
+				if rng.Intn(2) == 0 {
+					ops = []OpSpec{{SpecRMW, a}}
+				} else {
+					ops = []OpSpec{{SpecRead, a}}
+				}
+			case core.RA:
+				if a == b || rng.Intn(2) == 0 {
+					ops = []OpSpec{{SpecRMW, a}, {SpecRMW, b}}
+				} else {
+					ops = []OpSpec{{SpecRead, a}, {SpecRead, b}}
+				}
+			case core.CAUSAL:
+				switch rng.Intn(3) {
+				case 0: // chained updates the observers can invert
+					ops = []OpSpec{{SpecRMW, a}}
+				case 1:
+					ops = []OpSpec{{SpecRead, a}, {SpecRMW, b}}
+				default: // two-key observer, one key per read
+					ops = []OpSpec{{SpecRead, b}, {SpecRead, a}}
+				}
+			case core.SI:
+				ops = []OpSpec{{SpecRMW, hotA}}
+			case core.SER, core.SSER:
+				ops = []OpSpec{{SpecRead, a}, {SpecRMW, b}}
+			default:
+				return GenerateTargeted(cfg)
 			}
 			txns[i] = TxnSpec{Ops: ops}
 		}

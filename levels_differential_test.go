@@ -1,0 +1,174 @@
+// levels_differential_test.go property-tests the lattice profiler
+// against the dedicated engines and the Elle baseline: on every history —
+// clean or fault-injected, MT or general-transaction shaped — the
+// profile's SER rung must be bit-identical to core.CheckSER (verdict,
+// counterexample cycle edge by edge, anomaly list, edge count), the SI
+// rung bit-identical to core.CheckSI whenever it actually runs, the SSER
+// verdict must agree with core.CheckSSER (the profiler decides it
+// without materializing the time chain), the rung column must be
+// monotone in the lattice, and no Elle-visible violation may pass a
+// shared rung. This is the contract docs/isolation.md advertises for
+// `profile` as a drop-in engine.
+package main
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mtc/internal/core"
+	"mtc/internal/elle"
+	"mtc/internal/faults"
+	"mtc/internal/history"
+	"mtc/internal/kv"
+	"mtc/internal/levels"
+	"mtc/internal/runner"
+	"mtc/internal/workload"
+)
+
+// profileCheck profiles one history and cross-examines the report.
+func profileCheck(t *testing.T, h *history.History, tag string) *levels.Report {
+	t.Helper()
+	prof, err := levels.Profile(context.Background(), h, levels.Options{})
+	if err != nil {
+		t.Fatalf("%s: profile failed: %v", tag, err)
+	}
+
+	// SER: the profiler always computes this rung on the shared graph,
+	// so it must be bit-identical to the dedicated engine.
+	ser := core.CheckSER(h)
+	rser := prof.Rung(core.SER).Res
+	if rser.OK != ser.OK || rser.NumTxns != ser.NumTxns || rser.NumEdges != ser.NumEdges {
+		t.Fatalf("%s: SER rung OK=%v txns=%d edges=%d, engine OK=%v txns=%d edges=%d",
+			tag, rser.OK, rser.NumTxns, rser.NumEdges, ser.OK, ser.NumTxns, ser.NumEdges)
+	}
+	if !reflect.DeepEqual(rser.Cycle, ser.Cycle) {
+		t.Fatalf("%s: SER cycles diverge\nprofile: %v\nengine:  %v", tag, rser.Cycle, ser.Cycle)
+	}
+	if !reflect.DeepEqual(rser.Anomalies, ser.Anomalies) {
+		t.Fatalf("%s: SER anomalies diverge\nprofile: %v\nengine:  %v", tag, rser.Anomalies, ser.Anomalies)
+	}
+
+	// SI: the verdict always agrees; the witness is bit-identical
+	// whenever the rung actually ran (a SER pass short-circuits it).
+	si := core.CheckSI(h)
+	rsi := prof.Rung(core.SI).Res
+	if rsi.OK != si.OK {
+		t.Fatalf("%s: SI rung OK=%v, engine OK=%v", tag, rsi.OK, si.OK)
+	}
+	if !rser.OK {
+		if !reflect.DeepEqual(rsi.Cycle, si.Cycle) {
+			t.Fatalf("%s: SI cycles diverge\nprofile: %v\nengine:  %v", tag, rsi.Cycle, si.Cycle)
+		}
+		if !reflect.DeepEqual(rsi.Anomalies, si.Anomalies) {
+			t.Fatalf("%s: SI anomalies diverge\nprofile: %v\nengine:  %v", tag, rsi.Anomalies, si.Anomalies)
+		}
+		if !reflect.DeepEqual(rsi.Divergence, si.Divergence) {
+			t.Fatalf("%s: SI divergence witnesses diverge\nprofile: %v\nengine:  %v",
+				tag, rsi.Divergence, si.Divergence)
+		}
+	}
+
+	// SSER: the profiler's chain-free inversion check must agree with
+	// the dedicated engine's time-chain cycle search.
+	sser := core.CheckSSER(h)
+	if got := prof.Rung(core.SSER).Res.OK; got != sser.OK {
+		t.Fatalf("%s: SSER rung OK=%v, engine OK=%v (%s)", tag, got, sser.OK, sser.Explain())
+	}
+
+	// Lattice monotonicity: once a rung is violated, every rung above it
+	// must be violated too, and Strongest is exactly the highest OK rung.
+	strongest := levels.None
+	broken := false
+	for _, v := range prof.Rungs {
+		switch {
+		case v.Res.OK && broken:
+			t.Fatalf("%s: non-monotone profile: %s passes above a violated rung", tag, v.Level)
+		case v.Res.OK:
+			strongest = v.Level
+		default:
+			broken = true
+		}
+	}
+	if prof.Strongest != strongest {
+		t.Fatalf("%s: strongest=%s, rung column says %s", tag, prof.Strongest, strongest)
+	}
+
+	// Elle cross-check on the shared levels: the register mode infers a
+	// subset of MTC's dependencies, so any violation Elle can see must
+	// fail the corresponding rung here too.
+	if r := elle.CheckRWRegister(h, elle.SER); !r.OK && rser.OK {
+		t.Fatalf("%s: elle rejects SER (%s) but the SER rung passed", tag, r.Reason)
+	}
+	if r := elle.CheckRWRegister(h, elle.SI); !r.OK && rsi.OK {
+		t.Fatalf("%s: elle rejects SI (%s) but the SI rung passed", tag, r.Reason)
+	}
+	return prof
+}
+
+// TestDifferentialProfileVsEngines replays >= 1000 randomized histories
+// through the profiler: clean MT histories from both strong store modes,
+// blind-write general-transaction histories, Table-II fault injections,
+// and the per-rung fault presets (which must never break a rung below
+// the one they target).
+func TestDifferentialProfileVsEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow under -short")
+	}
+	var bugs []faults.Bug
+	for _, b := range faults.Bugs() {
+		if !b.LWT {
+			bugs = append(bugs, b)
+		}
+	}
+	lbs := faults.LevelBugs()
+	histories := 0
+	check := func(h *history.History, tag string) *levels.Report {
+		histories++
+		return profileCheck(t, h, tag)
+	}
+	for seed := int64(1); seed <= 80; seed++ {
+		// Clean MT histories from every store mode: timestamps present, so
+		// the SSER inversion scan decides over a real time order.
+		w := workload.GenerateMT(workload.MTConfig{
+			Sessions: 3, Txns: 6, Objects: 4,
+			Dist: workload.Uniform, Seed: seed, ReadOnlyFrac: 0.25,
+		})
+		for _, mode := range []kv.Mode{kv.ModeSerializable, kv.ModeSI} {
+			check(runner.Run(kv.NewStore(mode), w, runner.Config{Retries: 2}).H, mode.String())
+		}
+		// General-transaction histories: blind writes leave undetermined
+		// version orders, exercising the incomparable-version paths of the
+		// weak rungs and guarantees.
+		wg := workload.GenerateGT(workload.GTConfig{
+			Sessions: 3, Txns: 6, Objects: 3, OpsPerTxn: 3, Seed: seed,
+		})
+		check(runner.Run(kv.NewStore(kv.ModeSerializable), wg, runner.Config{Retries: 2}).H, "gt")
+		// Table-II fault injections: violating verdicts must stay
+		// bit-identical too.
+		wf := workload.GenerateMT(workload.MTConfig{
+			Sessions: 3, Txns: 8, Objects: 2,
+			Dist: workload.Exponential, Seed: seed, ReadOnlyFrac: 0.25,
+		})
+		for i := 0; i < 5; i++ {
+			b := bugs[(int(seed)+i)%len(bugs)]
+			check(runner.Run(b.NewStore(seed), wf, runner.Config{Retries: 2}).H, b.Name)
+		}
+		// Per-rung fault presets: whatever breaks must break at or above
+		// the preset's target rung, never below it.
+		for _, lb := range lbs {
+			wl := workload.GenerateLevelTargeted(lb.Breaks, workload.TargetedConfig{
+				Sessions: 4, Txns: 24, Objects: 3, Seed: seed,
+			})
+			prof := check(runner.Run(lb.NewStore(seed), wl, runner.Config{Retries: 2}).H, lb.Anomaly)
+			if b := prof.Breaking(); b != nil &&
+				core.LatticeRank(b.Level) < core.LatticeRank(lb.Breaks) {
+				t.Fatalf("%s preset broke %s, below its target rung %s", lb.Anomaly, b.Level, lb.Breaks)
+			}
+		}
+	}
+	if histories < 1000 {
+		t.Fatalf("differential corpus too small: %d histories", histories)
+	}
+	t.Logf("profiled %d histories against the dedicated engines and elle", histories)
+}

@@ -32,9 +32,9 @@ func TestJobRoundTrip(t *testing.T) {
 	if err := c.Healthy(ctx); err != nil {
 		t.Fatalf("healthz: %v", err)
 	}
-	// Six base engines plus their component-sharded twins.
+	// Ten base engines plus their component-sharded twins.
 	infos, err := c.Checkers(ctx)
-	if err != nil || len(infos) != 12 {
+	if err != nil || len(infos) != 20 {
 		t.Fatalf("checkers: %v %v", infos, err)
 	}
 

@@ -62,7 +62,7 @@ type (
 
 // Checker abstraction.
 type (
-	// Level names an isolation level (SSER, SER or SI).
+	// Level names an isolation level (SSER, SER, SI, CAUSAL, RA or RC).
 	Level = checker.Level
 	// Options tunes a checker run.
 	Options = checker.Options
@@ -76,17 +76,37 @@ type (
 	Registry = checker.Registry
 	// UnsupportedHistoryError marks a history an engine cannot process.
 	UnsupportedHistoryError = checker.UnsupportedHistoryError
+	// RungVerdict is one isolation level's verdict in a lattice profile.
+	RungVerdict = checker.RungVerdict
+	// GuaranteeVerdict is one session guarantee's verdict in a profile.
+	GuaranteeVerdict = checker.GuaranteeVerdict
 )
 
-// The supported isolation levels.
+// The supported isolation levels, strongest first.
 const (
-	SSER = core.SSER // strict serializability
-	SER  = core.SER  // serializability
-	SI   = core.SI   // snapshot isolation
+	SSER   = core.SSER   // strict serializability
+	SER    = core.SER    // serializability
+	SI     = core.SI     // snapshot isolation
+	CAUSAL = core.CAUSAL // causal consistency
+	RA     = core.RA     // read atomicity
+	RC     = core.RC     // read committed
 )
 
 // ParseLevel maps a level name (any case) to its Level.
 func ParseLevel(s string) (Level, error) { return checker.ParseLevel(s) }
+
+// Levels lists the supported isolation levels, weakest to strongest.
+func Levels() []Level { return checker.AllLevels() }
+
+// Profile evaluates the whole isolation lattice plus the four session
+// guarantees (RYW, MR, MW, WFR) in one pass over h and reports the
+// strongest satisfied level in Report.StrongestLevel, with per-rung
+// verdicts in Report.Rungs and guarantee verdicts in Report.Guarantees.
+// The top-level OK/counterexample fields reflect opts.Level (default
+// SI), so Profile is a drop-in replacement for a single-level Check.
+func Profile(ctx context.Context, h *History, opts Options) (Report, error) {
+	return checker.Run(ctx, "profile", h, opts)
+}
 
 // DefaultParallelism returns the worker-pool size the engines use when
 // Options.Parallelism is left zero: GOMAXPROCS. Set Options.Parallelism
