@@ -99,13 +99,14 @@ func main() {
 	}
 	if *out != "" || (*compare == "" && *appendPath == "") {
 		w := os.Stdout
+		var f *os.File
 		if *out != "" {
-			f, err := os.Create(*out)
+			var err error
+			f, err = os.Create(*out)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
 				os.Exit(1)
 			}
-			defer f.Close()
 			w = f
 		}
 		enc := json.NewEncoder(w)
@@ -114,7 +115,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *out != "" {
+		if f != nil {
+			// The snapshot feeds the regression gate: a short write
+			// surfacing at close must fail the run, not pass silently.
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+				os.Exit(1)
+			}
 			fmt.Printf("wrote %d benches to %s\n", len(snap.Benches), *out)
 		}
 	}
@@ -176,11 +183,16 @@ func appendSnapshot(path string, snap Snapshot) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
-	if _, err := f.Write(append(line, '\n')); err != nil {
-		return 0, err
+	if _, werr := f.Write(append(line, '\n')); werr != nil {
+		_ = f.Close()
+		return 0, werr
 	}
-	return len(prior) + 1, err
+	// The appended line is the durable record of this run; a close
+	// error is a failed append, not a cosmetic one.
+	if cerr := f.Close(); cerr != nil {
+		return 0, cerr
+	}
+	return len(prior) + 1, nil
 }
 
 // readSnapshots parses an NDJSON history file, one Snapshot per line.
@@ -234,7 +246,7 @@ func compareBaseline(path string, cur Snapshot, tolerance, allocTolerance float6
 			current[key{b.Name, b.Unit}] = b.Value
 		}
 	}
-	tracked, regressions, missing := 0, 0, 0
+	tracked, regressions, missing, allocRegressions := 0, 0, 0, 0
 	for _, b := range base.Benches {
 		tol, ok := gated[b.Unit]
 		if !ok {
@@ -257,11 +269,20 @@ func compareBaseline(path string, cur Snapshot, tolerance, allocTolerance float6
 		switch {
 		case ratio > tol:
 			regressions++
+			if b.Unit == "allocs/op" {
+				allocRegressions++
+			}
 			fmt.Fprintf(os.Stderr, "REGRESS  %-40s %.0f -> %.0f %s (%+.1f%%, tolerance %.0f%%)\n",
 				b.Name, b.Value, got, b.Unit, ratio*100, tol*100)
 		default:
 			fmt.Printf("ok       %-40s %.0f -> %.0f %s (%+.1f%%)\n", b.Name, b.Value, got, b.Unit, ratio*100)
 		}
+	}
+	if allocRegressions > 0 {
+		// Allocation counts are deterministic, so an allocs/op trip is a
+		// source change, not noise — point at the annotation machinery
+		// that localizes it.
+		fmt.Fprintf(os.Stderr, "hint: allocs/op regressions usually trace to a //mtc:hotpath function growing a per-item allocation; run `go run ./cmd/mtc-lint ./...` to pinpoint the construct (docs/lint.md)\n")
 	}
 	if tracked == 0 {
 		return fmt.Errorf("baseline %s tracks no gated benchmarks", path)

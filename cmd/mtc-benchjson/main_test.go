@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -86,5 +89,67 @@ func TestAppendRoundTrip(t *testing.T) {
 	empty, err := readSnapshots(filepath.Join(t.TempDir(), "absent.ndjson"))
 	if err != nil || empty != nil {
 		t.Fatalf("missing file: %v %v", empty, err)
+	}
+}
+
+// compareStderr runs compareBaseline with stderr captured, returning
+// the gate's error and everything it printed there.
+func compareStderr(t *testing.T, base Snapshot, cur Snapshot) (error, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	gateErr := compareBaseline(path, cur, 0.25, 0.05)
+	os.Stderr = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gateErr, string(out)
+}
+
+// TestCompareBaselineAllocHint checks that an allocs/op regression
+// prints the source-annotation hint pointing at mtc-lint's //mtc:hotpath
+// machinery, and that a pure ns/op regression does not (timing noise
+// has nothing to do with allocation annotations).
+func TestCompareBaselineAllocHint(t *testing.T) {
+	base := Snapshot{Benches: []Bench{
+		{Name: "BenchmarkBatchSER10k", Unit: "ns/op", Value: 1000},
+		{Name: "BenchmarkBatchSER10k/allocs", Unit: "allocs/op", Value: 9},
+	}}
+	regressed := Snapshot{Benches: []Bench{
+		{Name: "BenchmarkBatchSER10k", Unit: "ns/op", Value: 1000},
+		{Name: "BenchmarkBatchSER10k/allocs", Unit: "allocs/op", Value: 40},
+	}}
+	err, stderr := compareStderr(t, base, regressed)
+	if err == nil {
+		t.Fatal("allocs/op regression passed the gate")
+	}
+	if !strings.Contains(stderr, "mtc:hotpath") || !strings.Contains(stderr, "cmd/mtc-lint") {
+		t.Fatalf("allocs regression did not print the mtc-lint hint:\n%s", stderr)
+	}
+
+	slow := Snapshot{Benches: []Bench{
+		{Name: "BenchmarkBatchSER10k", Unit: "ns/op", Value: 9000},
+		{Name: "BenchmarkBatchSER10k/allocs", Unit: "allocs/op", Value: 9},
+	}}
+	err, stderr = compareStderr(t, base, slow)
+	if err == nil {
+		t.Fatal("ns/op regression passed the gate")
+	}
+	if strings.Contains(stderr, "mtc:hotpath") {
+		t.Fatalf("ns/op-only regression printed the allocation hint:\n%s", stderr)
 	}
 }

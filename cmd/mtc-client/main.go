@@ -73,8 +73,8 @@ func main() {
 		fatalf("read history: %v", err)
 	}
 	if *level != "" {
-		if _, err := mtc.ParseLevel(*level); err != nil {
-			fatalf("%v", err)
+		if _, lerr := mtc.ParseLevel(*level); lerr != nil {
+			fatalf("%v", lerr)
 		}
 	}
 	if *stream {

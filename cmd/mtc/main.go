@@ -149,8 +149,8 @@ func main() {
 		res.Committed, res.Aborted, res.AbortRate()*100)
 
 	if *out != "" {
-		if err := history.SaveFile(*out, res.H); err != nil {
-			fatalf("save: %v", err)
+		if serr := history.SaveFile(*out, res.H); serr != nil {
+			fatalf("save: %v", serr)
 		}
 		infof("saved history to %s\n", *out)
 	}

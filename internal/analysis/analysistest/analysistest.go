@@ -1,0 +1,154 @@
+// Package analysistest runs an analyzer over seeded-violation testdata
+// packages and checks its diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest: a
+// want comment on a line declares that the analyzer must report a
+// diagnostic on that line whose message matches the quoted regular
+// expression; several quoted patterns declare several expected
+// diagnostics; a line with no want comment must produce none. Testdata
+// lives under <analyzer>/testdata/src/<pkg>/ — the package key is the
+// directory base name, so a testdata package named "core" exercises the
+// watched-package gates the same way mtc/internal/core does.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mtc/internal/analysis"
+)
+
+// TestData returns the analyzer package's testdata root.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Run loads each testdata package, runs a over it, and reports any
+// mismatch between the diagnostics and the want comments as test
+// errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkgName := range pkgs {
+		pkg, err := analysis.ParseDirPackage(filepath.Join(testdata, "src", pkgName))
+		if err != nil {
+			t.Errorf("%s: load: %v", pkgName, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := pkg.Pass(a, func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s: %v", pkgName, a.Name, err)
+			continue
+		}
+		checkDiagnostics(t, pkg, diags)
+	}
+}
+
+// expectation is one want pattern, consumed by at most one diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func checkDiagnostics(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWant(c.Text)
+				if err != nil {
+					t.Errorf("%s: %v", pos, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWant extracts the quoted patterns of a `// want "p1" "p2"`
+// comment; comments without the marker yield none. Both interpreted
+// and raw (backquoted) strings are accepted.
+func parseWant(comment string) ([]string, error) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var patterns []string
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("want comment: expected quoted pattern at %q", rest)
+		}
+		// Find the end of this Go string literal.
+		end := -1
+		if rest[0] == '`' {
+			if i := strings.IndexByte(rest[1:], '`'); i >= 0 {
+				end = i + 2
+			}
+		} else {
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i + 1
+					break
+				}
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("want comment: unterminated pattern in %q", rest)
+		}
+		p, err := strconv.Unquote(rest[:end])
+		if err != nil {
+			return nil, fmt.Errorf("want comment: %q: %w", rest[:end], err)
+		}
+		patterns = append(patterns, p)
+		rest = strings.TrimSpace(rest[end:])
+	}
+	return patterns, nil
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"mtc/internal/analysis/analysistest"
+	"mtc/internal/analysis/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxpoll.Analyzer, "polygraph", "util")
+}

@@ -1,0 +1,116 @@
+// Package polygraph seeds ctxpoll violations and exemptions against
+// the watched-package gate (keyed by directory name, like
+// mtc/internal/polygraph).
+package polygraph
+
+import "context"
+
+// The house style: an unbounded fixpoint loop polling ctx at the top.
+func pruneLoop(ctx context.Context, work chan int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w, ok := <-work
+		if !ok {
+			return nil
+		}
+		_ = w
+	}
+}
+
+// Unbounded and blind to cancellation: the violation.
+func spinForever(ctx context.Context, work chan int) int {
+	total := 0
+	for { // want `unbounded for-loop in a context-taking function never polls`
+		w, ok := <-work
+		if !ok {
+			return total
+		}
+		total += w
+	}
+}
+
+// Passing ctx onward does not excuse an unbounded driver loop: it must
+// prove cancellation at its own level.
+func waitDelegated(ctx context.Context, work chan int) int {
+	total := 0
+	for { // want `unbounded for-loop in a context-taking function never polls`
+		w, ok := <-work
+		if !ok {
+			return total
+		}
+		total += consume(ctx, w)
+	}
+}
+
+func consume(_ context.Context, w int) int { return w }
+
+// A loop nest with no poll and no ctx-passing call: nothing can
+// interrupt the quadratic scan.
+func closure(ctx context.Context, adj [][]int) int {
+	count := 0
+	for i := range adj { // want `loop nest in a context-taking function neither polls`
+		for _, j := range adj[i] {
+			count += j
+		}
+	}
+	return count
+}
+
+// A stride poll at the top of the nest passes.
+func closureStride(ctx context.Context, adj [][]int) (int, error) {
+	count := 0
+	for i := range adj {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, j := range adj[i] {
+			count += j
+		}
+	}
+	return count, nil
+}
+
+// Delegating with ctx passes for bounded nests: the callee holds ctx
+// and is responsible for polling.
+func delegated(ctx context.Context, adj [][]int) int {
+	count := 0
+	for i := range adj {
+		for range adj[i] {
+			count += visit(ctx, adj[i])
+		}
+	}
+	return count
+}
+
+func visit(_ context.Context, row []int) int {
+	total := 0
+	for _, j := range row { // single bounded loop: not a candidate
+		total += j
+	}
+	return total
+}
+
+// Bounded by construction, asserted by annotation.
+func bounded(ctx context.Context, grid [8][8]int) int {
+	sum := 0
+	//mtc:cancellation-ok 64 cells, bounded by construction
+	for _, row := range grid {
+		for _, c := range row {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// No context parameter: the contract does not apply.
+func noContract(adj [][]int) int {
+	count := 0
+	for i := range adj {
+		for _, j := range adj[i] {
+			count += j
+		}
+	}
+	return count
+}

@@ -1,0 +1,15 @@
+// Package util is outside the watched set: even an unbounded blind
+// loop produces no findings here.
+package util
+
+import "context"
+
+func spin(_ context.Context, ch chan int) int {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return 0
+		}
+		_ = v
+	}
+}

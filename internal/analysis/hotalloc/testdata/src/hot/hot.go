@@ -1,0 +1,104 @@
+// Package hot seeds hotalloc violations: the analyzer has no package
+// gate — the //mtc:hotpath annotation is the opt-in.
+package hot
+
+import "fmt"
+
+type item struct {
+	key string
+	n   int
+}
+
+func sink(v any) { _ = v }
+
+//mtc:hotpath
+func formatHot(items []item) string {
+	out := ""
+	for _, it := range items {
+		out += fmt.Sprintf("%s=%d;", it.key, it.n) // want `fmt.Sprintf allocates`
+	}
+	return out
+}
+
+//mtc:hotpath
+func growHot(items []item) []string {
+	var keys []string
+	for _, it := range items {
+		keys = append(keys, it.key) // want `append into keys, declared without capacity`
+	}
+	return keys
+}
+
+//mtc:hotpath
+func preallocated(items []item) []string {
+	keys := make([]string, 0, len(items))
+	for _, it := range items {
+		keys = append(keys, it.key) // preallocated: no finding
+	}
+	return keys
+}
+
+//mtc:hotpath
+func appendParam(keys []string, more []item) []string {
+	for _, it := range more {
+		keys = append(keys, it.key) // caller-owned slice: no finding
+	}
+	return keys
+}
+
+//mtc:hotpath
+func mapHot(items []item) int {
+	seen := map[string]bool{} // want `map literal allocates`
+	dup := 0
+	for _, it := range items {
+		if seen[it.key] {
+			dup++
+		}
+		seen[it.key] = true
+	}
+	return dup
+}
+
+//mtc:hotpath
+func makeMapHot(n int) map[int]int {
+	m := make(map[int]int, n) // want `make\(map\) allocates`
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return m
+}
+
+//mtc:hotpath
+func boxHot(items []item) {
+	for _, it := range items {
+		sink(it) // want `boxes into interface parameter`
+	}
+}
+
+//mtc:hotpath
+func boxPtr(items []*item) {
+	for _, it := range items {
+		sink(it) // pointer-shaped: no finding
+	}
+}
+
+//mtc:hotpath
+func coldError(items []item) error {
+	if len(items) > 1<<20 {
+		return fmt.Errorf("too many items: %d", len(items)) //mtc:alloc-ok cold error path, never taken per-item
+	}
+	return nil
+}
+
+// Unannotated: the same constructs produce no findings.
+func notHot(items []item) string {
+	out := ""
+	seen := map[string]bool{}
+	for _, it := range items {
+		if !seen[it.key] {
+			out += fmt.Sprintf("%s=%d;", it.key, it.n)
+		}
+		seen[it.key] = true
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Pass binds pkg to a for one analyzer run.
+func (pkg *Package) Pass(a *Analyzer, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    report,
+	}
+}
+
+var disableCgoOnce sync.Once
+
+// DisableCgo switches go/build's default context to pure Go. The
+// source importer type-checks the standard library from GOROOT source,
+// and with cgo enabled that would route packages like net through the
+// cgo preprocessor; the pure-Go variants type-check everywhere the lint
+// runs (CI runners, sandboxes without a C toolchain).
+func DisableCgo() {
+	disableCgoOnce.Do(func() { build.Default.CgoEnabled = false })
+}
+
+// StdImporter returns a types.Importer that loads non-module packages
+// (the standard library) by type-checking their GOROOT source. The
+// returned importer caches internally, so one instance should be shared
+// across every package of a load.
+func StdImporter(fset *token.FileSet) types.Importer {
+	DisableCgo()
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// Loader loads and type-checks packages of one module from source,
+// resolving in-module imports through itself and everything else
+// through the standard library source importer. It is not safe for
+// concurrent use.
+type Loader struct {
+	Root    string // module root: the directory containing go.mod
+	ModPath string
+	Fset    *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package // by import path; nil entry = load in progress
+}
+
+// NewLoader prepares a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     StdImporter(fset),
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// ModulePath extracts the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	m := moduleLine.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	return string(m[1]), nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves patterns ("./...", "./internal/core", "internal/core")
+// relative to the module root and returns the matched packages,
+// type-checked with their in-module dependency closure. Directories
+// with no buildable non-test Go files are skipped silently for
+// wildcard patterns and reported for explicit ones.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.Root, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.Root, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			if err := l.walk(base, add); err != nil {
+				return nil, err
+			}
+		default:
+			add(filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+		}
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		ip, err := l.importPathOf(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.load(ip)
+		if err != nil {
+			if _, noGo := errNoGo(err); noGo && len(dirs) > 1 {
+				continue // wildcard hit a test-only or empty directory
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// walk collects package directories below base, skipping testdata,
+// vendor, VCS and hidden/underscore directories.
+func (l *Loader) walk(base string, add func(string)) error {
+	return filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				add(p)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+func (l *Loader) importPathOf(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module root %s", dir, l.Root)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) dirOf(importPath string) string {
+	if importPath == l.ModPath {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(importPath, l.ModPath+"/")))
+}
+
+type noGoError struct{ err error }
+
+func (e noGoError) Error() string { return e.err.Error() }
+func errNoGo(err error) (error, bool) {
+	ng, ok := err.(noGoError)
+	if !ok {
+		return err, false
+	}
+	return ng.err, true
+}
+
+// load type-checks the package at importPath, loading in-module
+// dependencies recursively (valid Go has no import cycles; a cycle is
+// reported rather than deadlocking).
+func (l *Loader) load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[importPath] = nil // mark in progress
+	dir := l.dirOf(importPath)
+	DisableCgo()
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			delete(l.pkgs, importPath)
+			return nil, noGoError{fmt.Errorf("analysis: %s: no buildable Go files", dir)}
+		}
+		delete(l.pkgs, importPath)
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			delete(l.pkgs, importPath)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		delete(l.pkgs, importPath)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w (and %d more)", importPath, typeErrs[0], len(typeErrs)-1)
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter routes in-module imports back through the loader and
+// everything else to the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// newInfo allocates the full set of type-information maps the analyzers
+// consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// ParseDirPackage parses and type-checks the single-directory package
+// at dir against the standard library alone — the analysistest loader
+// for seeded-violation testdata packages, whose import path (and thus
+// watched-package key) is the directory's base name.
+func ParseDirPackage(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: StdImporter(fset),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	ip := filepath.Base(dir)
+	tpkg, _ := conf.Check(ip, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w (and %d more)", dir, typeErrs[0], len(typeErrs)-1)
+	}
+	return &Package{ImportPath: ip, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"mtc/internal/analysis/analysistest"
+	"mtc/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), mapiter.Analyzer, "core", "util")
+}

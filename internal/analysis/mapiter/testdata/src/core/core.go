@@ -1,0 +1,61 @@
+// Package core seeds mapiter violations and exemptions: the directory
+// name keys the analyzer's watched-package gate the same way
+// mtc/internal/core does.
+package core
+
+import "sort"
+
+// Sorted-after-collect: the loop feeds sort.Strings, restoring
+// determinism before anything order-dependent happens.
+func verdictOrder(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leaking iteration order straight into a callback is the violation.
+func leakOrder(m map[string]int, emit func(string)) {
+	for k := range m { // want `range over map in verdict-producing package core`
+		emit(k)
+	}
+}
+
+// An order-insensitive fold still needs the annotation: the analyzer
+// cannot prove commutativity, the author asserts it.
+func countAll(m map[string]int) int {
+	total := 0
+	//mtc:nondeterministic-ok addition is commutative; order cannot reach the total
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging a slice is ordered; never a finding.
+func sliceRange(xs []string, emit func(string)) {
+	for _, x := range xs {
+		emit(x)
+	}
+}
+
+// Collecting values (not keys) and sorting them also passes.
+func valuesSorted(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// Collected but never sorted: flagged even though it looks innocent.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map in verdict-producing package core`
+		out = append(out, k)
+	}
+	return out
+}

@@ -134,9 +134,11 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 	if inc.initID >= 0 {
 		keep[inc.initID] = true
 	}
+	//mtc:nondeterministic-ok marking keep bits; set union is commutative
 	for _, id := range inc.lastInSession {
 		keep[id] = true
 	}
+	//mtc:nondeterministic-ok marking keep bits; set union is commutative
 	for _, waiters := range inc.pending {
 		for _, r := range waiters {
 			keep[r] = true
@@ -154,15 +156,17 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 			keep[o] = true
 		}
 	}
+	//mtc:nondeterministic-ok marking keep bits; set union is commutative
 	for slot := range inc.readers {
 		markSlot(slot)
 	}
+	//mtc:nondeterministic-ok marking keep bits; set union is commutative
 	for slot := range inc.overwriters {
 		markSlot(slot)
 	}
 	// Writers with readable values but no readers yet still anchor
 	// future WR edges.
-	for k, m := range inc.writers {
+	for k, m := range inc.writers { //mtc:nondeterministic-ok marking keep bits; set union is commutative
 		for _, w := range m {
 			if slotAlive(w, k) {
 				keep[w] = true
@@ -300,10 +304,12 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		inc.initID = remap[inc.initID]
 	}
 	newLast := make(map[int]int, len(inc.lastInSession))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for sess, id := range inc.lastInSession {
 		newLast[sess] = remap[id]
 	}
 	newPending := make(map[history.Op][]int, len(inc.pending))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for key, waiters := range inc.pending {
 		nw := make([]int, len(waiters))
 		for i, r := range waiters {
@@ -312,7 +318,7 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		newPending[key] = nw
 	}
 	newWriters := make(map[history.Key]map[history.Value]int, len(inc.writers))
-	for k, m := range inc.writers {
+	for k, m := range inc.writers { //mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 		for v, w := range m {
 			if !slotAlive(w, k) {
 				continue
@@ -326,7 +332,7 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		}
 	}
 	newAborted := make(map[history.Key]map[history.Value]int, len(inc.abortedW))
-	for k, m := range inc.abortedW {
+	for k, m := range inc.abortedW { //mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 		for v, w := range m {
 			if !keepBase[w] {
 				continue
@@ -340,12 +346,14 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		}
 	}
 	newFinal := make(map[int]writeSet, kcount)
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for id, fw := range inc.finalWrites {
 		if keep[id] {
 			newFinal[remap[id]] = fw
 		}
 	}
 	remapList := func(src map[incWK][]int, dst map[incWK][]int) {
+		//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 		for slot, list := range src {
 			if !slotAlive(slot.w, slot.k) {
 				continue
@@ -362,16 +370,19 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 	newOver := make(map[incWK][]int, len(inc.overwriters))
 	remapList(inc.overwriters, newOver)
 	newSlotRef := make(map[incWK]int, len(inc.slotRef))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for slot, ref := range inc.slotRef {
 		if slotAlive(slot.w, slot.k) {
 			newSlotRef[incWK{remap[slot.w], slot.k}] = ref
 		}
 	}
 	newLatest := make(map[history.Key]int, len(inc.latestWriter))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for k, w := range inc.latestWriter {
 		newLatest[k] = remap[w]
 	}
 	newDethroned := make(map[incWK]int, len(inc.dethroned))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for slot, d := range inc.dethroned {
 		if slotAlive(slot.w, slot.k) {
 			newDethroned[incWK{remap[slot.w], slot.k}] = d
@@ -382,6 +393,7 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		return e
 	}
 	newBaseIn := make(map[int][]graph.Edge, len(inc.baseIn))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for id, edges := range inc.baseIn {
 		if !keep[id] {
 			continue
@@ -393,6 +405,7 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		newBaseIn[remap[id]] = ne
 	}
 	newRWOut := make(map[int][]graph.Edge, len(inc.rwOut))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for id, edges := range inc.rwOut {
 		if !keep[id] {
 			continue
@@ -404,6 +417,7 @@ func (inc *Incremental) Compact(frontier int, pin func(ext int) bool) CompactSta
 		newRWOut[remap[id]] = ne
 	}
 	newWitness := make(map[composedKey][]graph.Edge, len(inc.witness))
+	//mtc:nondeterministic-ok key-for-key map rebuild; no order reaches the result
 	for ck, edges := range inc.witness {
 		// The witness threads through an intermediate node; keep the
 		// expansion only while all three survive (a composed edge whose

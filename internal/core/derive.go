@@ -35,6 +35,8 @@ func DeriveDepsCtx(ctx context.Context, ix *history.Index, emit func(graph.Edge)
 }
 
 // deriveDeps is DeriveDeps polling ctx between batches of transactions.
+//
+//mtc:hotpath — the three-pass merge-join the allocs/op benchmark gate measures
 func deriveDeps(ctx context.Context, ix *history.Index, emit func(graph.Edge)) ([]Divergence, error) {
 	n := ix.NumTxns()
 	nr := ix.NumReads()
@@ -124,7 +126,7 @@ func deriveDeps(ctx context.Context, ix *history.Index, emit func(graph.Edge)) (
 			wwCnt[w]++
 			if slot := ix.WriterSlot(k, w); slot >= 0 {
 				if prev := firstRMW[slot]; prev >= 0 {
-					divs = append(divs, Divergence{Key: ix.KeyName(k), Writer: int(w), Reader1: int(prev), Reader2: s})
+					divs = append(divs, Divergence{Key: ix.KeyName(k), Writer: int(w), Reader1: int(prev), Reader2: s}) //mtc:alloc-ok divergences are rare anomalies; this branch is cold
 				} else {
 					firstRMW[slot] = int32(s)
 				}

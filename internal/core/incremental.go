@@ -259,6 +259,7 @@ func (inc *Incremental) stalenessHorizon() (int, bool) {
 		return 0, false
 	}
 	h := int(^uint(0) >> 1)
+	//mtc:nondeterministic-ok minimum fold; min is commutative
 	for s := range inc.activeSessions {
 		if p := inc.lastSeen[s]; p < h {
 			h = p
@@ -383,6 +384,8 @@ func (inc *Incremental) add(t history.Txn, isInit bool) *Result {
 // pre-check it scans the transaction's own (tiny) operation list
 // instead of building per-transaction maps, so the per-commit hot path
 // does not allocate for the classification itself.
+//
+//mtc:hotpath — per-commit classification; allocation here scales with every streamed transaction
 func (inc *Incremental) walkOps(id int, ops []history.Op) *Result {
 	anomaly := func(kind history.AnomalyKind, op history.Op) *Result {
 		return inc.fail(Result{Level: inc.lvl, Anomalies: []history.Anomaly{
@@ -605,6 +608,7 @@ func (inc *Incremental) Finalize() Result {
 	// compaction), breaking ties by key then value, so identical streams
 	// report identical counterexamples.
 	best, bestReader := history.Op{}, -1
+	//mtc:nondeterministic-ok total-order minimum with (position, key, value) tie-breaks; any iteration order picks the same winner
 	for key, waiters := range inc.pending {
 		r := waiters[0]
 		for _, w := range waiters {

@@ -102,6 +102,7 @@ func futureRefs(h *history.History, order []int) []int {
 			}
 		}
 	}
+	//mtc:nondeterministic-ok maximum fold into keepUntil; max is commutative
 	for vk, ps := range participants {
 		ref, referenced := lastRef[vk]
 		if !referenced {

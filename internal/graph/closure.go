@@ -44,6 +44,11 @@ func NewClosure(ctx context.Context, n int, out [][]int, par int) (*Closure, boo
 	depth := make([]int, n)
 	maxDepth := 0
 	for i := n - 1; i >= 0; i-- {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
 		v := order[i]
 		d := 0
 		for _, w := range out[v] {

@@ -71,7 +71,12 @@ func SaveFile(path string, h *History) error {
 			return err
 		}
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// Explicit checked close on the write path; the deferred Close
+	// behind it then sees ErrClosed and only covers the error returns.
+	return f.Close()
 }
 
 // LoadFile reads a history from path, sniffing the encoding by content
@@ -198,6 +203,9 @@ func ReadText(r io.Reader) (*History, error) {
 			sess, err := strconv.Atoi(strings.TrimPrefix(fields[2], "s"))
 			if err != nil {
 				return nil, fmt.Errorf("history: line %d: bad session: %w", line, err)
+			}
+			if sess < -1 {
+				return nil, fmt.Errorf("history: line %d: negative session %d", line, sess)
 			}
 			start, err := strconv.ParseInt(fields[3], 10, 64)
 			if err != nil {

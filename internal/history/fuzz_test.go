@@ -1,0 +1,93 @@
+package history
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds returns serialized fixtures in every codec the sniffer
+// recognizes, plus truncated and corrupted variants: the shapes the
+// mutator grows the corpus from.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	h := ndjsonFixture()
+	var nd, js, tx bytes.Buffer
+	if err := WriteNDJSON(&nd, h); err != nil {
+		tb.Fatal(err)
+	}
+	if err := WriteJSON(&js, h); err != nil {
+		tb.Fatal(err)
+	}
+	if err := WriteText(&tx, h); err != nil {
+		tb.Fatal(err)
+	}
+	seeds := [][]byte{nd.Bytes(), js.Bytes(), tx.Bytes()}
+	// Truncations at awkward offsets: mid-header, mid-record, mid-line.
+	for _, cut := range []int{1, 7, nd.Len() / 2, nd.Len() - 3} {
+		if cut > 0 && cut < nd.Len() {
+			seeds = append(seeds, nd.Bytes()[:cut])
+		}
+	}
+	seeds = append(seeds,
+		[]byte(""),
+		[]byte("{\"mtc\":"),
+		[]byte("garbage that is neither json nor a history\n"),
+		[]byte("{\"mtc\":\"history\",\"version\":1,\"sessions\":-5}\n"),
+	)
+	return seeds
+}
+
+// FuzzStreamReader drives the NDJSON incremental decoder with arbitrary
+// bytes: any input must either stream a structurally valid history or
+// return an error — never panic, never hand back a Txn that breaks the
+// builder's invariants.
+func FuzzStreamReader(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := sr.Next(); err != nil {
+				if err != io.EOF {
+					return // malformed record surfaced as an error: fine
+				}
+				break
+			}
+		}
+		// The stream decoded fully; the assembled history must be
+		// structurally well-formed.
+		h, err := ReadNDJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("ReadNDJSON accepted a structurally invalid history: %v", err)
+		}
+	})
+}
+
+// FuzzReadAuto drives the format sniffer plus all three decoders:
+// arbitrary bytes must yield either an error or a Validate-clean
+// history, regardless of which codec the sniffer picks.
+func FuzzReadAuto(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if h == nil {
+			t.Fatal("ReadAuto returned nil history with nil error")
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("ReadAuto accepted a structurally invalid history: %v", err)
+		}
+	})
+}

@@ -328,6 +328,7 @@ func (w WriterIndex) Writer(x Key, v Value) int {
 // particular order.
 func (w WriterIndex) WritersOf(x Key) []int {
 	set := map[int]struct{}{}
+	//mtc:nondeterministic-ok deduplicating into a set; the result is sorted below
 	for _, id := range w.byKV[x] {
 		set[id] = struct{}{}
 	}

@@ -1,6 +1,9 @@
 package history
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // KeyID is a dense interned key identifier. The Index assigns ids in
 // lexicographic key order, so sorting a column by KeyID sorts it by key
@@ -137,6 +140,8 @@ func NewIndex(h *History) *Index {
 }
 
 // buildFootprints fills the per-txn read/write columns.
+//
+//mtc:hotpath — columnar index construction; the 9-allocs-per-10k-txn contract starts here
 func (ix *Index) buildFootprints(h *History, nOps int, kid func(Key) KeyID) {
 	n := len(h.Txns)
 	ix.readOff = make([]int32, n+1)
@@ -216,8 +221,11 @@ type kvt struct {
 
 // buildPostings fills the committed and aborted write-op postings, the
 // duplicate-write list, and the per-key writer lists.
+//
+//mtc:hotpath — postings merge-join feeding every Writer/WritersOf lookup
 func (ix *Index) buildPostings(h *History, nOps int, kid func(Key) KeyID) {
-	var committed, aborted []kvt
+	committed := make([]kvt, 0, nOps/2)
+	var aborted []kvt
 	for t := range h.Txns {
 		txn := &h.Txns[t]
 		for _, op := range txn.Ops {
@@ -228,7 +236,7 @@ func (ix *Index) buildPostings(h *History, nOps int, kid func(Key) KeyID) {
 			if txn.Committed {
 				committed = append(committed, e)
 			} else {
-				aborted = append(aborted, e)
+				aborted = append(aborted, e) //mtc:alloc-ok aborted writes are rare; growth here is off the common path
 			}
 		}
 	}
@@ -240,7 +248,8 @@ func (ix *Index) buildPostings(h *History, nOps int, kid func(Key) KeyID) {
 	// write of the same pair inside one transaction is a dup too).
 	sorted := make([]kvt, len(committed))
 	copy(sorted, committed)
-	sort.Slice(sorted, func(i, j int) bool {
+	sort.Slice(sorted, func(i, j int) bool { //mtc:alloc-ok one boxed slice header per index build
+
 		if sorted[i].k != sorted[j].k {
 			return sorted[i].k < sorted[j].k
 		}
@@ -273,7 +282,8 @@ func (ix *Index) buildPostings(h *History, nOps int, kid func(Key) KeyID) {
 
 	// Aborted postings: existence lookups only; last writer wins to
 	// mirror CheckInternal's aborted map.
-	sort.SliceStable(aborted, func(i, j int) bool {
+	sort.SliceStable(aborted, func(i, j int) bool { //mtc:alloc-ok one boxed slice header per index build
+
 		if aborted[i].k != aborted[j].k {
 			return aborted[i].k < aborted[j].k
 		}
@@ -304,7 +314,8 @@ func (ix *Index) buildPostings(h *History, nOps int, kid func(Key) KeyID) {
 		for s := ix.slotOff[k]; s < ix.slotOff[k+1]; s++ {
 			scratch = append(scratch, ix.slotTxn[s])
 		}
-		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		slices.Sort(scratch) // generic sort: no per-key interface boxing
+
 		for i, w := range scratch {
 			if i == 0 || scratch[i-1] != w {
 				ix.writersTxn = append(ix.writersTxn, w)

@@ -99,6 +99,8 @@ func (d *derived) checkSI(ctx context.Context) (core.Result, error) {
 // violation — off the clean-history hot path — does the rung fall back
 // to the dedicated sparse-chain engine for the usual compressed cycle
 // witness.
+//
+//mtc:hotpath — the lattice's per-rung DFS over the shared graph
 func (d *derived) checkSSER(ctx context.Context, ser core.Result, par int) (core.Result, error) {
 	res := core.Result{Level: core.SSER, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
 	if !ser.OK {
@@ -121,6 +123,11 @@ func (d *derived) checkSSER(ctx context.Context, ser core.Result, par int) (core
 	stack := make([]int32, 0, 1024)
 scan:
 	for s := 0; s < n; s++ {
+		if s&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return core.Result{}, err
+			}
+		}
 		if state[s] != 0 {
 			continue
 		}
@@ -175,6 +182,8 @@ scan:
 // checkRC is the RC rung. G0/G1a/G1b are the pre-check's anomalies;
 // what remains is G1c — a cycle of write/read dependencies alone — so
 // the rung filters the shared graph down to WR ∪ WW and searches that.
+//
+//mtc:hotpath — rung filter over every edge of the shared graph
 func (d *derived) checkRC() core.Result {
 	res := core.Result{Level: core.RC, NumTxns: d.ix.NumTxns(), NumEdges: d.g.NumEdges()}
 	n := d.g.Len()
@@ -272,6 +281,7 @@ func (d *derived) checkCausal(ctx context.Context, par int) (core.Result, error)
 	n := d.g.Len()
 	co := graph.New(n)
 	var rws []graph.Edge
+	//mtc:cancellation-ok linear edge scan; the closure build below polls ctx
 	for u := 0; u < n; u++ {
 		for _, e := range d.g.Out(u) {
 			switch e.Kind {
@@ -291,6 +301,7 @@ func (d *derived) checkCausal(ctx context.Context, par int) (core.Result, error)
 		return res, nil
 	}
 	adj := make([][]int, n)
+	//mtc:cancellation-ok linear adjacency copy; the closure build below polls ctx
 	for u := 0; u < n; u++ {
 		outs := co.Out(u)
 		if len(outs) == 0 {

@@ -17,6 +17,7 @@ package polygraph
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"mtc/internal/graph"
 	"mtc/internal/history"
@@ -79,8 +80,22 @@ func BuildIndexed(ix *history.Index) *Polygraph {
 		}
 	}
 
-	// Anti-dependencies induced by the known WW edges.
-	for uk, w := range knownWW {
+	// Anti-dependencies induced by the known WW edges, emitted in sorted
+	// (writer, key) order: the edge list's order flows into the solver
+	// and the pruner, so map iteration here would leak randomness into
+	// witness selection.
+	wwSlots := make([]wk, 0, len(knownWW))
+	for slot := range knownWW {
+		wwSlots = append(wwSlots, slot)
+	}
+	sort.Slice(wwSlots, func(i, j int) bool {
+		if wwSlots[i].u != wwSlots[j].u {
+			return wwSlots[i].u < wwSlots[j].u
+		}
+		return wwSlots[i].k < wwSlots[j].k
+	})
+	for _, uk := range wwSlots {
+		w := knownWW[uk]
 		for _, e := range readersOf[uk.u] {
 			if e.key == uk.k && e.r != w {
 				p.Known = append(p.Known, sat.Edge{From: e.r, To: w, Kind: sat.RW})
@@ -120,6 +135,7 @@ type chain struct {
 // knownWWSucc extracts the direct RMW successor lists of key x.
 func knownWWSucc(knownWW map[wk]int, x history.KeyID) map[int]int {
 	succ := map[int]int{}
+	//mtc:nondeterministic-ok filtered key-for-key map rebuild; (u, x) keys are unique, so no entry races another
 	for k, s := range knownWW {
 		if k.k == x {
 			succ[k.u] = s
@@ -137,6 +153,7 @@ func knownWWSucc(knownWW map[wk]int, x history.KeyID) map[int]int {
 // most one successor, keeping only one; the losers become chain heads).
 func buildChains(writers []int32, succ map[int]int) []chain {
 	hasPred := map[int]bool{}
+	//mtc:nondeterministic-ok marking a membership set; insertion order cannot reach it
 	for _, s := range succ {
 		hasPred[s] = true
 	}
@@ -357,6 +374,7 @@ func (p *Polygraph) serReach(ctx context.Context, par int) (reacher, error) {
 	out := adjacency(p.N, p.Known)
 	// createsCycle queries reach[e.To][e.From] per candidate edge.
 	srcSet := make(map[int]struct{})
+	//mtc:cancellation-ok linear scan of the constraint edges; the reachability build below polls ctx
 	for _, c := range p.Cons {
 		for _, e := range c.A {
 			srcSet[e.To] = struct{}{}
@@ -379,6 +397,7 @@ func (p *Polygraph) serReach(ctx context.Context, par int) (reacher, error) {
 	for s := range srcSet {
 		sources = append(sources, s)
 	}
+	sort.Ints(sources)
 	rows, err := graph.NewReachPool(p.N, out, par).Rows(ctx, sources)
 	if err != nil {
 		return nil, err

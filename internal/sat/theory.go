@@ -44,6 +44,7 @@ type acyclicTheory struct {
 // so a canceled solve does not retry the closure on every search).
 func levelZeroClosure(ctx context.Context, n int, out func(v int) []aEdge) *graph.Closure {
 	adj := make([][]int, n)
+	//mtc:cancellation-ok linear adjacency copy; graph.NewClosure below polls ctx
 	for v := 0; v < n; v++ {
 		for _, e := range out(v) {
 			if e.level == 0 {
