@@ -27,6 +27,19 @@
 //
 //	go test -run '^$' -bench . -benchmem . \
 //	  | mtc-benchjson -append bench/history.ndjson
+//
+// Two history modes read that accumulating log instead of stdin (the
+// -append flag names the history file; nothing is appended):
+//
+//	mtc-benchjson -append bench/history.ndjson -trend 4
+//	mtc-benchjson -append bench/history.ndjson -render dev/bench
+//
+// -trend K exits 1 when any gated series (ns/op, allocs/op) present in
+// each of the last K runs degraded strictly monotonically across them —
+// the slow-leak gate: per-run drift that stays inside -tolerance but
+// compounds run over run. -render DIR emits a self-contained static
+// dashboard (index.html + data.js in the github-action-benchmark
+// window.BENCHMARK_DATA shape) that CI publishes as an artifact.
 package main
 
 import (
@@ -36,7 +49,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -72,7 +87,42 @@ func main() {
 	appendPath := flag.String("append", "", "NDJSON history file to append this snapshot to (one line per run)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline (0.25 = 25%)")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.05, "allowed fractional allocs/op regression vs the baseline (counts are deterministic, so keep this tight)")
+	trendK := flag.Int("trend", 0, "history mode: exit 1 when any gated benchmark in the -append history degraded strictly monotonically over the last K runs (reads no stdin)")
+	render := flag.String("render", "", "history mode: render the -append history into a static dashboard (index.html + data.js) in this directory (reads no stdin)")
 	flag.Parse()
+
+	if *trendK > 0 || *render != "" {
+		// History modes replay the accumulated log; they never parse a
+		// bench run, so combining them with the stdin-driven flags is a
+		// confused invocation, not a pipeline.
+		if *appendPath == "" {
+			fmt.Fprintln(os.Stderr, "mtc-benchjson: -trend/-render read the NDJSON history; name it with -append")
+			os.Exit(1)
+		}
+		if *out != "" || *compare != "" {
+			fmt.Fprintln(os.Stderr, "mtc-benchjson: -trend/-render are history modes; run -out/-compare as a separate invocation")
+			os.Exit(1)
+		}
+		snaps, err := readSnapshots(*appendPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *trendK > 0 {
+			if err := checkTrend(snaps, *trendK); err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *render != "" {
+			if err := renderDashboard(*render, snaps); err != nil {
+				fmt.Fprintf(os.Stderr, "mtc-benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("rendered %d runs to %s\n", len(snaps), *render)
+		}
+		return
+	}
 
 	snap := Snapshot{
 		Date:   time.Now().UTC().Format(time.RFC3339),
@@ -169,28 +219,46 @@ func parseBenches(r io.Reader) ([]Bench, error) {
 // history at path, creating the file on first use, and returns the
 // 1-based index of the appended run. Each line is a complete Snapshot,
 // so the log keeps accumulating across commits and stays greppable and
-// replayable line by line (no rewrite of earlier runs, merge-friendly).
+// replayable line by line. The new content is written to a temp file in
+// the same directory and renamed over path: a crash or full disk
+// mid-append leaves the committed history intact instead of a torn
+// final line that would poison every later read.
 func appendSnapshot(path string, snap Snapshot) (int, error) {
-	prior, err := readSnapshots(path)
+	prior, err := readSnapshots(path) // also validates every existing line
 	if err != nil {
+		return 0, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
 		return 0, err
 	}
 	line, err := json.Marshal(snap)
 	if err != nil {
 		return 0, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+		raw = append(raw, '\n')
+	}
+	raw = append(raw, line...)
+	raw = append(raw, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return 0, err
 	}
-	if _, werr := f.Write(append(line, '\n')); werr != nil {
-		_ = f.Close()
+	if _, werr := tmp.Write(raw); werr != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return 0, werr
 	}
 	// The appended line is the durable record of this run; a close
 	// error is a failed append, not a cosmetic one.
-	if cerr := f.Close(); cerr != nil {
+	if cerr := tmp.Close(); cerr != nil {
+		_ = os.Remove(tmp.Name())
 		return 0, cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return 0, err
 	}
 	return len(prior) + 1, nil
 }
@@ -294,3 +362,246 @@ func compareBaseline(path string, cur Snapshot, tolerance, allocTolerance float6
 	fmt.Printf("bench gate: %d entries within tolerance of %s\n", tracked, path)
 	return nil
 }
+
+// checkTrend is the slow-leak gate: over the last k history runs, any
+// gated series (ns/op, allocs/op) that is present in every one of them
+// and degraded strictly monotonically — each run worse than the one
+// before — fails the check. A single-run regression inside -tolerance
+// passes the baseline gate; k of them in a row compound past it, and a
+// monotone staircase is a trend, not noise. A plateau or a single dip
+// resets the staircase and passes.
+func checkTrend(snaps []Snapshot, k int) error {
+	if k < 2 {
+		return fmt.Errorf("-trend %d: a trend needs at least 2 runs", k)
+	}
+	if len(snaps) < k {
+		fmt.Printf("trend gate: history has %d run(s), need %d — skipping\n", len(snaps), k)
+		return nil
+	}
+	window := snaps[len(snaps)-k:]
+	gated := map[string]bool{"ns/op": true, "allocs/op": true}
+	type key struct{ name, unit string }
+	series := make(map[key][]float64)
+	for _, s := range window {
+		seen := make(map[key]bool)
+		for _, b := range s.Benches {
+			kk := key{b.Name, b.Unit}
+			if !gated[b.Unit] || seen[kk] {
+				continue
+			}
+			seen[kk] = true
+			series[kk] = append(series[kk], b.Value)
+		}
+	}
+	keys := make([]key, 0, len(series))
+	for kk, vals := range series {
+		if len(vals) == k { // present in every run of the window
+			keys = append(keys, kk)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].unit < keys[j].unit
+	})
+	degrading := 0
+	for _, kk := range keys {
+		vals := series[kk]
+		monotone := true
+		for i := 1; i < k; i++ {
+			if vals[i] <= vals[i-1] {
+				monotone = false
+				break
+			}
+		}
+		if !monotone {
+			continue
+		}
+		degrading++
+		steps := make([]string, k)
+		for i, v := range vals {
+			steps[i] = strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		fmt.Fprintf(os.Stderr, "TREND    %-40s %s rose monotonically over the last %d runs: %v\n",
+			kk.name, kk.unit, k, steps)
+	}
+	if degrading > 0 {
+		return fmt.Errorf("%d benchmark series degrade monotonically over the last %d runs (see docs/ci.md)", degrading, k)
+	}
+	fmt.Printf("trend gate: no monotone degradation across the last %d runs (%d series)\n", k, len(keys))
+	return nil
+}
+
+// chartData is the github-action-benchmark data.js payload: the shape
+// its default dashboard reads from window.BENCHMARK_DATA, so the
+// rendered history stays interchangeable with that ecosystem.
+type chartData struct {
+	LastUpdate int64                   `json:"lastUpdate"`
+	RepoURL    string                  `json:"repoUrl"`
+	Entries    map[string][]chartEntry `json:"entries"`
+}
+
+type chartEntry struct {
+	Commit  chartCommit `json:"commit"`
+	Date    int64       `json:"date"`
+	Tool    string      `json:"tool"`
+	Benches []Bench     `json:"benches"`
+}
+
+type chartCommit struct {
+	ID        string `json:"id"`
+	Message   string `json:"message"`
+	Timestamp string `json:"timestamp"`
+	URL       string `json:"url"`
+}
+
+// renderDashboard writes DIR/data.js (window.BENCHMARK_DATA in the
+// github-action-benchmark shape) and DIR/index.html (a self-contained
+// vanilla-JS/SVG viewer, no network dependencies) from the history.
+func renderDashboard(dir string, snaps []Snapshot) error {
+	if len(snaps) == 0 {
+		return fmt.Errorf("history is empty; nothing to render")
+	}
+	repo := repoURL()
+	entries := make([]chartEntry, 0, len(snaps))
+	var lastUpdate int64
+	for i, s := range snaps {
+		ts, err := time.Parse(time.RFC3339, s.Date)
+		if err != nil {
+			return fmt.Errorf("history run %d: bad date %q: %w", i+1, s.Date, err)
+		}
+		ms := ts.UnixMilli()
+		if ms > lastUpdate {
+			lastUpdate = ms
+		}
+		commit := chartCommit{ID: s.Commit, Timestamp: s.Date}
+		if commit.ID == "" {
+			commit.ID = fmt.Sprintf("run-%d", i+1)
+		} else if repo != "" {
+			commit.URL = repo + "/commit/" + s.Commit
+		}
+		tool := s.Tool
+		if tool == "" {
+			tool = "go"
+		}
+		entries = append(entries, chartEntry{Commit: commit, Date: ms, Tool: tool, Benches: s.Benches})
+	}
+	payload, err := json.MarshalIndent(chartData{
+		LastUpdate: lastUpdate,
+		RepoURL:    repo,
+		Entries:    map[string][]chartEntry{"Go Benchmark": entries},
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dataJS := append([]byte("window.BENCHMARK_DATA = "), payload...)
+	dataJS = append(dataJS, '\n')
+	if err := os.WriteFile(filepath.Join(dir, "data.js"), dataJS, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "index.html"), []byte(indexHTML), 0o644)
+}
+
+// repoURL derives the dashboard's repository link from the standard
+// GitHub Actions environment; outside CI the link is simply omitted.
+func repoURL() string {
+	repo := os.Getenv("GITHUB_REPOSITORY")
+	if repo == "" {
+		return ""
+	}
+	server := os.Getenv("GITHUB_SERVER_URL")
+	if server == "" {
+		server = "https://github.com"
+	}
+	return server + "/" + repo
+}
+
+// indexHTML is the static viewer: one SVG line chart per benchmark
+// series, drawn entirely client-side from data.js. Self-contained on
+// purpose — the dashboard is published as a CI artifact and must open
+// from a local file with no CDN or framework fetch.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>mtc benchmark trends</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #222; }
+  h1 { font-size: 1.4rem; }
+  #meta { color: #666; }
+  .chart { display: inline-block; vertical-align: top; margin: 0 1rem 1.5rem 0; }
+  .chart h2 { font-size: 0.95rem; margin: 0 0 0.25rem; font-weight: 600; }
+  .chart .range { color: #666; font-size: 0.8rem; }
+  svg { background: #fafafa; border: 1px solid #ddd; }
+  polyline { fill: none; stroke: #2a6fdb; stroke-width: 1.5; }
+  circle { fill: #2a6fdb; }
+</style>
+</head>
+<body>
+<h1>mtc benchmark trends</h1>
+<p id="meta"></p>
+<div id="charts"></div>
+<script src="data.js"></script>
+<script>
+(function () {
+  "use strict";
+  var data = window.BENCHMARK_DATA;
+  if (!data) { document.getElementById("meta").textContent = "data.js missing"; return; }
+  var entries = (data.entries && data.entries["Go Benchmark"]) || [];
+  document.getElementById("meta").textContent =
+    entries.length + " runs, last update " + new Date(data.lastUpdate).toISOString() +
+    (data.repoUrl ? " — " + data.repoUrl : "");
+  // Group values by series (benchmark name + unit) across runs.
+  var series = {};
+  entries.forEach(function (e) {
+    (e.benches || []).forEach(function (b) {
+      var key = b.name + " [" + b.unit + "]";
+      (series[key] = series[key] || []).push({ x: e.date, y: b.value, commit: e.commit.id });
+    });
+  });
+  var charts = document.getElementById("charts");
+  var W = 320, H = 120, PAD = 8;
+  Object.keys(series).sort().forEach(function (key) {
+    var pts = series[key];
+    var ys = pts.map(function (p) { return p.y; });
+    var min = Math.min.apply(null, ys), max = Math.max.apply(null, ys);
+    var span = (max - min) || 1;
+    var step = pts.length > 1 ? (W - 2 * PAD) / (pts.length - 1) : 0;
+    var svgNS = "http://www.w3.org/2000/svg";
+    var svg = document.createElementNS(svgNS, "svg");
+    svg.setAttribute("width", W); svg.setAttribute("height", H);
+    var coords = pts.map(function (p, i) {
+      var x = PAD + i * step;
+      var y = H - PAD - ((p.y - min) / span) * (H - 2 * PAD);
+      return [x, y];
+    });
+    var line = document.createElementNS(svgNS, "polyline");
+    line.setAttribute("points", coords.map(function (c) { return c.join(","); }).join(" "));
+    svg.appendChild(line);
+    coords.forEach(function (c, i) {
+      var dot = document.createElementNS(svgNS, "circle");
+      dot.setAttribute("cx", c[0]); dot.setAttribute("cy", c[1]); dot.setAttribute("r", 2.5);
+      var tip = document.createElementNS(svgNS, "title");
+      tip.textContent = pts[i].commit + "\n" + new Date(pts[i].x).toISOString() + "\n" + pts[i].y;
+      dot.appendChild(tip);
+      svg.appendChild(dot);
+    });
+    var div = document.createElement("div");
+    div.className = "chart";
+    var h2 = document.createElement("h2");
+    h2.textContent = key;
+    var range = document.createElement("div");
+    range.className = "range";
+    range.textContent = "min " + min + " — max " + max + " (latest " + ys[ys.length - 1] + ")";
+    div.appendChild(h2); div.appendChild(svg); div.appendChild(range);
+    charts.appendChild(div);
+  });
+})();
+</script>
+</body>
+</html>
+`

@@ -92,6 +92,166 @@ func TestAppendRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendAtomic pins the temp-file + rename discipline: appends
+// leave no temp droppings behind, and an append refused because the
+// existing history is corrupt leaves the file byte-identical (the
+// rewrite must never destroy the log it could not parse).
+func TestAppendAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.ndjson")
+	snap := Snapshot{Date: "2026-08-07T00:00:00Z", Commit: "aaaa", Tool: "go",
+		Benches: []Bench{{Name: "BenchmarkX", Unit: "ns/op", Value: 100}}}
+	for i := 0; i < 3; i++ {
+		if _, err := appendSnapshot(path, snap); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0].Name() != "history.ndjson" {
+		t.Fatalf("append left temp files behind: %v", names)
+	}
+
+	// Corrupt history: the append must fail without touching the file.
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendSnapshot(bad, snap); err == nil {
+		t.Fatal("append to a corrupt history succeeded")
+	}
+	raw, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "{not json}\n" {
+		t.Fatalf("failed append modified the corrupt history: %q", raw)
+	}
+}
+
+// trendSnaps builds a history whose BenchmarkLeak ns/op series follows
+// vals, with a stable control series alongside.
+func trendSnaps(vals ...float64) []Snapshot {
+	snaps := make([]Snapshot, len(vals))
+	for i, v := range vals {
+		snaps[i] = Snapshot{
+			Date: "2026-08-07T00:00:00Z", Commit: "c", Tool: "go",
+			Benches: []Bench{
+				{Name: "BenchmarkLeak", Unit: "ns/op", Value: v},
+				{Name: "BenchmarkSteady", Unit: "ns/op", Value: 500},
+				{Name: "BenchmarkLeak/alloc", Unit: "B/op", Value: v}, // not gated
+			},
+		}
+	}
+	return snaps
+}
+
+// TestTrendGate covers the slow-leak gate: a strictly monotone rise
+// over the window trips it, a plateau or dip resets it, short histories
+// and series absent from part of the window are skipped.
+func TestTrendGate(t *testing.T) {
+	// Each step is +5% — inside any per-run tolerance, but monotone.
+	if err := checkTrend(trendSnaps(100, 105, 110, 116), 4); err == nil {
+		t.Fatal("monotone ns/op staircase passed the trend gate")
+	} else if !strings.Contains(err.Error(), "1 benchmark series") {
+		t.Fatalf("trend error does not count the series: %v", err)
+	}
+	// Only the last K runs matter: an old staircase outside the window
+	// is forgiven once the latest run dips.
+	if err := checkTrend(trendSnaps(100, 105, 110, 116, 90), 4); err != nil {
+		t.Fatalf("dip in the window still tripped: %v", err)
+	}
+	// A plateau is not a degradation (equal values break strictness).
+	if err := checkTrend(trendSnaps(100, 105, 105, 116), 4); err != nil {
+		t.Fatalf("plateau tripped the gate: %v", err)
+	}
+	// Too little history: pass, never fail a young repo.
+	if err := checkTrend(trendSnaps(100, 105), 4); err != nil {
+		t.Fatalf("short history tripped: %v", err)
+	}
+	// allocs/op is gated too.
+	snaps := trendSnaps(100, 100, 100, 100)
+	for i := range snaps {
+		snaps[i].Benches = append(snaps[i].Benches,
+			Bench{Name: "BenchmarkLeak/allocs", Unit: "allocs/op", Value: float64(i + 1)})
+	}
+	if err := checkTrend(snaps, 4); err == nil {
+		t.Fatal("monotone allocs/op staircase passed")
+	}
+	// A series missing from one run of the window is not comparable and
+	// must not trip (nor crash) the gate.
+	snaps = trendSnaps(100, 105, 110, 116)
+	snaps[1].Benches = snaps[1].Benches[1:] // drop BenchmarkLeak from run 2
+	if err := checkTrend(snaps, 4); err != nil {
+		t.Fatalf("partially-present series tripped: %v", err)
+	}
+	// Degenerate window sizes are usage errors, not silent passes.
+	if err := checkTrend(trendSnaps(100, 105), 1); err == nil {
+		t.Fatal("-trend 1 accepted")
+	}
+}
+
+// TestRenderDashboard renders a small history and checks the data.js
+// payload parses back into the github-action-benchmark shape and the
+// static index is self-contained.
+func TestRenderDashboard(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dev", "bench")
+	snaps := []Snapshot{
+		{Date: "2026-08-06T10:00:00Z", Commit: "aaaa", Tool: "go",
+			Benches: []Bench{{Name: "BenchmarkX", Unit: "ns/op", Value: 100, Extra: "24 times"}}},
+		{Date: "2026-08-07T10:00:00Z", Commit: "bbbb", Tool: "go",
+			Benches: []Bench{{Name: "BenchmarkX", Unit: "ns/op", Value: 90}}},
+	}
+	if err := renderDashboard(dir, snaps); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "data.js"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const prefix = "window.BENCHMARK_DATA = "
+	if !strings.HasPrefix(string(raw), prefix) {
+		t.Fatalf("data.js does not assign window.BENCHMARK_DATA: %.60q", raw)
+	}
+	var data chartData
+	if err := json.Unmarshal(raw[len(prefix):], &data); err != nil {
+		t.Fatalf("data.js payload is not JSON: %v", err)
+	}
+	entries := data.Entries["Go Benchmark"]
+	if len(entries) != 2 {
+		t.Fatalf("entries: %+v", data.Entries)
+	}
+	if entries[0].Commit.ID != "aaaa" || entries[1].Commit.ID != "bbbb" {
+		t.Fatalf("commit ids drifted: %+v", entries)
+	}
+	if entries[0].Tool != "go" || entries[0].Date == 0 || entries[1].Date <= entries[0].Date {
+		t.Fatalf("entry headers: %+v", entries)
+	}
+	if data.LastUpdate != entries[1].Date {
+		t.Fatalf("lastUpdate %d, want %d", data.LastUpdate, entries[1].Date)
+	}
+	if len(entries[0].Benches) != 1 || entries[0].Benches[0] != snaps[0].Benches[0] {
+		t.Fatalf("benches drifted: %+v", entries[0].Benches)
+	}
+	html, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(html)
+	if !strings.Contains(page, `src="data.js"`) || !strings.Contains(page, "BENCHMARK_DATA") {
+		t.Fatal("index.html does not load data.js")
+	}
+	if strings.Contains(page, "https://cdn") || strings.Contains(page, "http://cdn") {
+		t.Fatal("index.html pulls from a CDN; the artifact must be self-contained")
+	}
+	// Empty history: refuse rather than render a blank dashboard.
+	if err := renderDashboard(t.TempDir(), nil); err == nil {
+		t.Fatal("empty history rendered")
+	}
+}
+
 // compareStderr runs compareBaseline with stderr captured, returning
 // the gate's error and everything it printed there.
 func compareStderr(t *testing.T, base Snapshot, cur Snapshot) (error, string) {

@@ -10,6 +10,7 @@
 //	mtc-client -history h.json -checker cobra -level SER -timeout 30s
 //	mtc-client -history h.json -level SI -events     # follow the NDJSON stream
 //	mtc-client -history h.json -level SI -stream -window 256
+//	mtc-client -history h.json -level SER -distributed   # run on the checking fabric
 //
 // -stream replays the history transaction by transaction (in commit
 // order) through a v1 streaming session instead of submitting a job —
@@ -47,6 +48,7 @@ func main() {
 		listCheckers = flag.Bool("checkers", false, "list the server's registered checkers and exit")
 		stream       = flag.Bool("stream", false, "replay the history through a v1 streaming session instead of a job")
 		window       = flag.Int("window", 0, "epoch-compaction window requested for the streaming session (0 = server default)")
+		distributed  = flag.Bool("distributed", false, "run the job on the server's checking fabric (requires a coordinator, i.e. mtc-serve -fabric-wal)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,9 @@ func main() {
 		if *shardN != 0 {
 			fatalf("-shard tunes job engines; the session engine ignores it (drop the flag)")
 		}
+		if *distributed {
+			fatalf("-distributed submits a fabric job; it cannot be combined with -stream")
+		}
 		if *timeout > 0 {
 			// In stream mode there is no server-side job deadline; honour
 			// -timeout as the overall replay bound instead.
@@ -106,7 +111,8 @@ func main() {
 	req := client.JobRequest{
 		Checker: *checkerName, Level: *level,
 		TimeoutMillis: timeout.Milliseconds(), Parallelism: *parallelism, Shard: *shardN,
-		History: h,
+		Distributed: *distributed,
+		History:     h,
 	}
 
 	job, err := c.SubmitJob(ctx, req)

@@ -9,6 +9,18 @@
 //	mtc-serve -addr :8080 [-checker mtc] [-workers 8] [-queue 256] \
 //	          [-job-timeout 60s] [-max-sessions 1024] [-max-body 67108864]
 //
+// The same binary is both sides of the distributed checking fabric
+// (internal/fabric). Started with -fabric-wal it is a coordinator: jobs
+// submitted with "distributed": true are split into components,
+// dispatched to registered workers, folded, and made durable in the
+// named write-ahead log (a restart on the same WAL resumes pending jobs
+// and serves completed verdicts without re-running them). Started with
+// -worker -coordinator <url> it serves no HTTP at all and instead
+// registers with the coordinator, heartbeats, and pulls component work:
+//
+//	mtc-serve -fabric-wal fabric.wal -addr :8080          # coordinator
+//	mtc-serve -worker -coordinator http://localhost:8080  # worker
+//
 //	POST   /v1/jobs                  submit a check -> 202 + job id
 //	GET    /v1/jobs/{id}             poll status / report
 //	GET    /v1/jobs/{id}/events      NDJSON progress stream
@@ -29,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"mtc/internal/fabric"
 	"mtc/internal/mtcserve"
 	"mtc/pkg/mtc"
 )
@@ -46,9 +59,23 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "default engine parallelism for jobs that do not set one (0 = GOMAXPROCS; requests are clamped to GOMAXPROCS)")
 		window      = flag.Int("window", 0, "default epoch-compaction window for streaming sessions that do not request one (0 = unbounded)")
 		sessionIdle = flag.Duration("session-idle", mtcserve.DefaultSessionIdle, "evict streaming sessions idle longer than this")
+
+		worker      = flag.Bool("worker", false, "run as a fabric worker instead of an HTTP server (requires -coordinator)")
+		coordinator = flag.String("coordinator", "", "coordinator base URL the worker registers with, e.g. http://host:8080")
+		workerName  = flag.String("worker-name", "", "worker label in coordinator logs and /v1/fabric/status (default: the hostname)")
+		fabricWAL   = flag.String("fabric-wal", "", "act as a fabric coordinator, persisting jobs to this NDJSON write-ahead log")
+		fabricHB    = flag.Duration("fabric-heartbeat", 0, "worker heartbeat timeout before in-flight components are re-dispatched (0 = 5s default)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *worker {
+		runWorker(logger, *coordinator, *workerName, *parallelism)
+		return
+	}
+	if *coordinator != "" {
+		logger.Error("mtc-serve: -coordinator requires -worker")
+		os.Exit(2)
+	}
 	if *window < 0 {
 		logger.Error("mtc-serve: -window must be >= 0", "window", *window)
 		os.Exit(2)
@@ -71,6 +98,25 @@ func main() {
 	srv.SessionIdleTimeout = *sessionIdle
 	srv.Logger = logger
 
+	if *fabricWAL != "" {
+		coord, err := fabric.Open(*fabricWAL, fabric.Config{
+			HeartbeatTimeout: *fabricHB,
+			Logger:           logger,
+		})
+		if err != nil {
+			logger.Error("mtc-serve: opening fabric WAL", "path", *fabricWAL, "err", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := coord.Close(); err != nil {
+				logger.Error("mtc-serve: closing fabric WAL", "err", err)
+			}
+		}()
+		srv.Fabric = coord
+		srv.AdoptFabricJobs()
+		logger.Info("mtc-serve: fabric coordinator enabled", "wal", *fabricWAL)
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -91,4 +137,28 @@ func main() {
 		logger.Error("mtc-serve", "err", err)
 		os.Exit(1)
 	}
+}
+
+// runWorker runs the fabric worker loop until SIGINT/SIGTERM.
+func runWorker(logger *slog.Logger, coordinator, name string, parallelism int) {
+	if coordinator == "" {
+		logger.Error("mtc-serve: -worker requires -coordinator <url>")
+		os.Exit(2)
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("mtc-serve: fabric worker starting", "coordinator", coordinator, "name", name)
+	if err := fabric.RunWorker(ctx, fabric.WorkerConfig{
+		Coordinator: coordinator,
+		Name:        name,
+		Parallelism: parallelism,
+		Logger:      logger,
+	}); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Error("mtc-serve: fabric worker", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("mtc-serve: fabric worker stopped")
 }

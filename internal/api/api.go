@@ -82,6 +82,16 @@ type JobRequest struct {
 	// 0 checks unbounded; negative values are rejected; other engines
 	// ignore it.
 	Window int `json:"window,omitempty"`
+	// Distributed routes the job through the checking fabric: the
+	// coordinator decomposes the history into its key/session-disjoint
+	// components (shard.Split), dispatches them to registered worker
+	// processes, and folds the per-component verdicts with the
+	// position-preserving merge — bit-identical to single-node sharded
+	// checking. The job and its component assignments persist to the
+	// coordinator's write-ahead log, so it survives a coordinator
+	// restart. Requires a server started as a fabric coordinator
+	// (mtc-serve -fabric-wal); others answer 400.
+	Distributed bool `json:"distributed,omitempty"`
 	// History is the history to verify, in the standard JSON encoding.
 	History *history.History `json:"history"`
 }
@@ -114,6 +124,9 @@ type Job struct {
 	// silently clamped, so these match the request when it set them.
 	Parallelism int `json:"parallelism,omitempty"`
 	Shard       int `json:"shard,omitempty"`
+	// Distributed marks a job executed on the checking fabric rather
+	// than the local worker pool.
+	Distributed bool `json:"distributed,omitempty"`
 	// Report is present once State is "done".
 	Report *checker.Report `json:"report,omitempty"`
 	// Error is present when State is "failed": the engine error or the

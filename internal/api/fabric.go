@@ -1,0 +1,125 @@
+package api
+
+import (
+	"mtc/internal/checker"
+	"mtc/internal/history"
+)
+
+// Fabric wire contract: the coordinator/worker messages of the
+// distributed checking fabric (internal/fabric). A coordinator is an
+// mtc-serve instance started with -fabric-wal; workers are mtc-serve
+// binaries started with `-worker -coordinator <url>` that register,
+// heartbeat, and pull component work produced by shard.Split. The
+// payloads embed history.History and checker.Report — the same types
+// the job API serializes — so a component task and its verdict travel
+// over the existing v1 encoding.
+//
+//	POST /v1/fabric/workers               register -> 201 WorkerLease
+//	POST /v1/fabric/workers/{id}/heartbeat  liveness ping -> 204
+//	POST /v1/fabric/workers/{id}/pull     claim work -> 200 FabricTask | 204
+//	POST /v1/fabric/workers/{id}/results  push a component verdict -> 200 FabricAck
+//	GET  /v1/fabric/status                workers, queues and jobs
+
+// WorkerHello is the body of POST /v1/fabric/workers: a worker
+// announcing itself to the coordinator.
+type WorkerHello struct {
+	// Name is a human-readable label for logs and the status endpoint;
+	// the coordinator's assigned ID, not the name, identifies the worker.
+	Name string `json:"name,omitempty"`
+	// Parallelism reports the engine parallelism the worker runs
+	// component checks with (informational).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// WorkerLease is the 201 body of a successful registration.
+type WorkerLease struct {
+	// ID is the coordinator-assigned worker identity; every subsequent
+	// heartbeat, pull and result names it. A coordinator restart
+	// invalidates all leases — the fabric endpoints answer 404 and the
+	// worker re-registers.
+	ID string `json:"id"`
+	// HeartbeatMillis is the interval the worker must beat at; missing
+	// roughly three beats marks the worker dead and re-dispatches its
+	// in-flight components under a fresh epoch.
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+}
+
+// FabricTask is one unit of fabric work: a single connected component of
+// a submitted job's history, to be checked by the base engine.
+type FabricTask struct {
+	Job       string `json:"job"`
+	Component int    `json:"component"`
+	// Epoch is the dispatch epoch of this component. The coordinator
+	// folds a result only when its epoch matches the component's current
+	// epoch, so a verdict from a worker that was presumed dead (and whose
+	// component was re-dispatched) can never be folded twice.
+	Epoch int `json:"epoch"`
+	// Checker is the base engine the worker must run (never a "-sharded"
+	// wrapper: the coordinator already decomposed the history).
+	Checker string `json:"checker"`
+	Level   string `json:"level,omitempty"`
+	// Engine options, forwarded from the submitted job.
+	SkipPreCheck bool `json:"skip_precheck,omitempty"`
+	SparseRT     bool `json:"sparse_rt,omitempty"`
+	Parallelism  int  `json:"parallelism,omitempty"`
+	Window       int  `json:"window,omitempty"`
+	// History is the component's sub-history (local transaction ids; the
+	// coordinator remaps the verdict back to external positions).
+	History *history.History `json:"history"`
+}
+
+// FabricResult is the body of POST /v1/fabric/workers/{id}/results: one
+// component verdict, echoing the task coordinates.
+type FabricResult struct {
+	Job       string `json:"job"`
+	Component int    `json:"component"`
+	Epoch     int    `json:"epoch"`
+	// Report is the engine verdict; Error is set instead when the engine
+	// failed (the coordinator fails the whole job).
+	Report *checker.Report `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// FabricAck answers a pushed result. Accepted is false when the result
+// was stale (epoch mismatch, unknown or already-terminal job) and was
+// discarded; the worker just moves on.
+type FabricAck struct {
+	Accepted bool `json:"accepted"`
+}
+
+// FabricWorkerStatus describes one registered worker in GET
+// /v1/fabric/status.
+type FabricWorkerStatus struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Queued and InFlight count the components assigned to this worker's
+	// queue and currently executing on it.
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+	// IdleMillis is how long ago the worker was last seen (heartbeat,
+	// pull or result).
+	IdleMillis int64 `json:"idle_ms"`
+}
+
+// FabricJobStatus describes one fabric job in GET /v1/fabric/status.
+type FabricJobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"` // pending | done | failed
+	Checker string `json:"checker"`
+	Level   string `json:"level,omitempty"`
+	Txns    int    `json:"txns"`
+	// Components is the size of the distribution plan; Done counts the
+	// folded component verdicts.
+	Components int `json:"components"`
+	Done       int `json:"done"`
+}
+
+// FabricStatus is the body of GET /v1/fabric/status.
+type FabricStatus struct {
+	Workers []FabricWorkerStatus `json:"workers"`
+	Jobs    []FabricJobStatus    `json:"jobs"`
+	// Unassigned counts pending components not yet placed on any
+	// worker's queue (no live worker at submission, or a requeue after a
+	// worker death awaiting its next claimant).
+	Unassigned int `json:"unassigned"`
+}

@@ -1,0 +1,784 @@
+// Package fabric turns the component sharding of internal/shard into a
+// coordinator/worker checking fabric: a coordinator decomposes each
+// submitted history with shard.Split into key/session-disjoint
+// components — the distribution plan — dispatches the components to
+// registered worker processes over the v1 wire contract, and folds the
+// per-component verdicts with the position-preserving shard.Merge, so a
+// distributed verdict is bit-identical to single-node sharded checking.
+//
+// Durability and robustness are first-class:
+//
+//   - every job (with its full history) and every component dispatch
+//     persist to an NDJSON write-ahead log, so a coordinator restart
+//     resumes pending jobs where they stopped and serves completed
+//     verdicts without re-running them;
+//   - workers register, heartbeat, and pull work; a worker that misses
+//     its heartbeats has its in-flight components re-dispatched under a
+//     fresh epoch, and the epoch guard makes the verdict fold
+//     at-most-once — a straggler's late result is discarded, never
+//     folded twice;
+//   - skewed component sizes are handled by work-stealing: components
+//     are placed largest-first on the least-loaded worker queue, and an
+//     idle worker whose own queue is empty steals the largest component
+//     from the largest remaining queue.
+//
+// The coordinator is passive: it owns no background goroutine. Liveness
+// sweeps run lazily on every worker interaction, so tests drive time
+// deterministically through the clock hook and a server shutdown has
+// nothing to join.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mtc/internal/api"
+	"mtc/internal/checker"
+	"mtc/internal/history"
+	"mtc/internal/shard"
+)
+
+// Fabric job states.
+const (
+	JobPending = "pending"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// DefaultHeartbeatTimeout is how long a worker may stay silent before
+// its in-flight components are re-dispatched.
+const DefaultHeartbeatTimeout = 5 * time.Second
+
+// Errors the HTTP layer maps to structured responses.
+var (
+	// ErrUnknownWorker names a worker id the coordinator does not know —
+	// typically a lease from before a coordinator restart. The worker
+	// re-registers and continues.
+	ErrUnknownWorker = errors.New("fabric: unknown worker")
+	// ErrUnknownJob names a job id the coordinator has never been
+	// submitted.
+	ErrUnknownJob = errors.New("fabric: unknown job")
+	// ErrClosed reports a submission to a closed coordinator.
+	ErrClosed = errors.New("fabric: coordinator is closed")
+)
+
+// Config tunes Open.
+type Config struct {
+	// Registry resolves engine names; nil selects checker.Default.
+	Registry *checker.Registry
+	// HeartbeatTimeout is the worker liveness bound (default
+	// DefaultHeartbeatTimeout). Leases advertise a third of it as the
+	// beat interval.
+	HeartbeatTimeout time.Duration
+	// Logger receives dispatch/requeue/fold logs; nil discards them.
+	Logger *slog.Logger
+
+	// now substitutes the clock in tests; nil means time.Now.
+	now func() time.Time
+}
+
+// JobInfo is the externally visible state of one fabric job, used by the
+// server to re-adopt recovered jobs after a restart.
+type JobInfo struct {
+	ID     string
+	State  string // JobPending, JobDone or JobFailed
+	Engine string
+	Opts   checker.Options
+	Txns   int
+	// Report is set when State is JobDone; Err when JobFailed.
+	Report *checker.Report
+	Err    string
+}
+
+// task is one schedulable component of a pending job.
+type task struct {
+	j    *fabJob
+	comp int
+	size int // transactions in the component, the skew measure
+}
+
+// compState tracks one component of a job.
+type compState struct {
+	// epoch is the component's current dispatch epoch: bumped on every
+	// dispatch and on every requeue, so exactly the latest dispatch can
+	// fold its verdict.
+	epoch  int
+	done   bool
+	report checker.Report
+	worker string // worker id executing the current epoch, "" if queued
+}
+
+// fabJob is one submitted fabric job.
+type fabJob struct {
+	id     string
+	engine string
+	opts   checker.Options
+	txns   int
+	p      *shard.Partition
+	comps  []compState
+	// remaining counts components without a folded verdict.
+	remaining int
+	state     string
+	report    *checker.Report
+	errMsg    string
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id       string
+	num      int
+	name     string
+	queue    []*task          // assigned, not yet dispatched; sorted by size descending
+	inflight map[*task]string // dispatched tasks -> job id (for requeue on death)
+	lastSeen time.Time
+}
+
+// load is the worker's pending volume in transactions — the placement
+// metric for least-loaded assignment.
+func (w *workerState) load() int {
+	n := 0
+	for _, t := range w.queue {
+		n += t.size
+	}
+	for t := range w.inflight {
+		n += t.size
+	}
+	return n
+}
+
+// queued is the stealable volume (in-flight work cannot be stolen).
+func (w *workerState) queued() int {
+	n := 0
+	for _, t := range w.queue {
+		n += t.size
+	}
+	return n
+}
+
+// Coordinator is the fabric's scheduling and durability core. Safe for
+// concurrent use; all HTTP handlers and the server's job path call into
+// it.
+type Coordinator struct {
+	reg       *checker.Registry
+	hbTimeout time.Duration
+	logger    *slog.Logger
+	now       func() time.Time
+
+	mu         sync.Mutex
+	wal        *wal
+	jobs       map[string]*fabJob
+	order      []string // submission order, for deterministic status listings
+	workers    map[string]*workerState
+	nextWorker int
+	unassigned []*task // sorted by size descending
+	closed     bool
+}
+
+// Open creates a coordinator over the WAL at path, replaying any prior
+// log: completed jobs come back served from their logged verdicts, and
+// pending jobs re-enqueue their unfinished components under fresh
+// epochs (a worker from before the restart holds an unknown lease and a
+// stale epoch, so it can neither pull nor fold).
+func Open(path string, cfg Config) (*Coordinator, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = checker.Default
+	}
+	hb := cfg.HeartbeatTimeout
+	if hb <= 0 {
+		hb = DefaultHeartbeatTimeout
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Coordinator{
+		reg: reg, hbTimeout: hb, logger: logger, now: now,
+		jobs:    make(map[string]*fabJob),
+		workers: make(map[string]*workerState),
+	}
+	w, recs, err := openWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	c.wal = w
+	if err := c.replay(recs); err != nil {
+		_ = w.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// replay rebuilds the job table from WAL records. The distribution plan
+// is re-derived with shard.Split — deterministic for a given history —
+// so component indices in assign/result records line up.
+func (c *Coordinator) replay(recs []walRecord) error {
+	for _, rec := range recs {
+		j := c.jobs[rec.Job]
+		switch rec.Type {
+		case recJob:
+			if j != nil {
+				return fmt.Errorf("fabric: wal: duplicate job record %q", rec.Job)
+			}
+			if rec.History == nil {
+				return fmt.Errorf("fabric: wal: job %q has no history", rec.Job)
+			}
+			opts := checker.Options{
+				Level:        checker.Level(rec.Level),
+				SkipPreCheck: rec.SkipPreCheck, SparseRT: rec.SparseRT,
+				Parallelism: rec.Parallelism, Window: rec.Window,
+			}
+			c.insertJob(rec.Job, rec.Checker, rec.History, opts)
+		case recAssign, recRequeue:
+			if j == nil || rec.Component < 0 || rec.Component >= len(j.comps) {
+				return fmt.Errorf("fabric: wal: %s for unknown job/component %q/%d", rec.Type, rec.Job, rec.Component)
+			}
+			if cs := &j.comps[rec.Component]; rec.Epoch > cs.epoch {
+				cs.epoch = rec.Epoch
+			}
+		case recResult:
+			if j == nil || rec.Component < 0 || rec.Component >= len(j.comps) || rec.Report == nil {
+				return fmt.Errorf("fabric: wal: bad result record for %q/%d", rec.Job, rec.Component)
+			}
+			if cs := &j.comps[rec.Component]; !cs.done {
+				cs.done = true
+				cs.report = *rec.Report
+				j.remaining--
+			}
+		case recDone:
+			if j == nil || rec.Report == nil {
+				return fmt.Errorf("fabric: wal: bad done record for %q", rec.Job)
+			}
+			c.terminate(j, JobDone, rec.Report, "")
+		case recFail:
+			if j == nil {
+				return fmt.Errorf("fabric: wal: fail record for unknown job %q", rec.Job)
+			}
+			c.terminate(j, JobFailed, nil, rec.Error)
+		default:
+			return fmt.Errorf("fabric: wal: unknown record type %q", rec.Type)
+		}
+	}
+	// Resume: enqueue the unfinished components of pending jobs; fold
+	// jobs whose last result landed right before the crash cut the done
+	// record off.
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state != JobPending {
+			continue
+		}
+		if j.remaining == 0 {
+			if err := c.fold(j); err != nil {
+				return err
+			}
+			continue
+		}
+		queued := 0
+		for i := range j.comps {
+			if !j.comps[i].done {
+				c.pushUnassigned(&task{j: j, comp: i, size: len(j.p.Components[i].H.Txns)})
+				queued++
+			}
+		}
+		c.logger.Info("fabric: resumed pending job from wal", "job", j.id, "components", len(j.comps), "queued", queued)
+	}
+	return nil
+}
+
+// insertJob builds the in-memory job (splitting the history) and
+// registers it; the caller logs the WAL record when this is a fresh
+// submission rather than a replay.
+func (c *Coordinator) insertJob(id, engine string, h *history.History, opts checker.Options) *fabJob {
+	p := shard.Split(h)
+	j := &fabJob{
+		id: id, engine: engine, opts: opts, txns: len(h.Txns),
+		p:     p,
+		comps: make([]compState, len(p.Components)),
+		state: JobPending,
+		done:  make(chan struct{}),
+	}
+	j.remaining = len(j.comps)
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	return j
+}
+
+// terminate moves a job to a terminal state (idempotent).
+func (c *Coordinator) terminate(j *fabJob, state string, report *checker.Report, errMsg string) {
+	if j.state != JobPending {
+		return
+	}
+	j.state = state
+	j.report = report
+	j.errMsg = errMsg
+	c.dropJobTasks(j)
+	close(j.done)
+}
+
+// Submit registers a job for distributed checking: logged to the WAL,
+// split into its distribution plan, and its components placed
+// largest-first on the least-loaded worker queues. Submitting an id the
+// coordinator already knows is a no-op — the idempotence that lets the
+// server resubmit recovered jobs blindly. The engine must be a base
+// engine name; a "-sharded" wrapper name is reduced to its base, since
+// the coordinator itself provides the sharding.
+func (c *Coordinator) Submit(id, engine string, h *history.History, opts checker.Options) error {
+	if shard.IsSharded(engine) {
+		engine = engine[:len(engine)-len(shard.Suffix)]
+	}
+	eng, err := c.reg.Lookup(engine)
+	if err != nil {
+		return err
+	}
+	if opts.Level == "" {
+		opts.Level = eng.Levels()[0]
+	}
+	opts.Shard = 0 // the plan, not the engine, does the sharding
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, ok := c.jobs[id]; ok {
+		return nil
+	}
+	if err := c.wal.append(walRecord{
+		Type: recJob, Job: id, Checker: engine, Level: string(opts.Level),
+		SkipPreCheck: opts.SkipPreCheck, SparseRT: opts.SparseRT,
+		Parallelism: opts.Parallelism, Window: opts.Window,
+		History: h,
+	}); err != nil {
+		return fmt.Errorf("fabric: wal append: %w", err)
+	}
+	j := c.insertJob(id, engine, h, opts)
+	if j.remaining == 0 {
+		// Init-only history: nothing to dispatch, fold the empty plan.
+		return c.fold(j)
+	}
+	c.sweepLocked()
+	// Largest-first placement on the least-loaded queue (LPT): bounds
+	// the makespan under skew, and what placement gets wrong the
+	// stealing in Pull corrects.
+	order := make([]int, len(j.comps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(j.p.Components[order[a]].H.Txns) > len(j.p.Components[order[b]].H.Txns)
+	})
+	for _, i := range order {
+		t := &task{j: j, comp: i, size: len(j.p.Components[i].H.Txns)}
+		if w := c.leastLoadedAlive(); w != nil {
+			w.queue = insertBySize(w.queue, t)
+		} else {
+			c.pushUnassigned(t)
+		}
+	}
+	c.logger.Info("fabric: job submitted", "job", id, "engine", engine, "level", string(opts.Level), "components", len(j.comps))
+	return nil
+}
+
+// Wait blocks until the job is terminal or ctx fires, returning the
+// folded report. The caller cancels the fabric job itself if it stops
+// caring (see Cancel) — a fired ctx here does not abort the job, since
+// a durable job may be waited on again after a server restart.
+func (c *Coordinator) Wait(ctx context.Context, id string) (checker.Report, error) {
+	c.mu.Lock()
+	j := c.jobs[id]
+	c.mu.Unlock()
+	if j == nil {
+		return checker.Report{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return checker.Report{}, ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j.state == JobDone {
+		return *j.report, nil
+	}
+	return checker.Report{}, errors.New(j.errMsg)
+}
+
+// Cancel fails a pending job (user cancellation or a server-side
+// timeout): its queued components are dropped, in-flight results will
+// be discarded, and a restart will not resume it.
+func (c *Coordinator) Cancel(id, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[id]
+	if j == nil || j.state != JobPending {
+		return
+	}
+	c.failLocked(j, reason)
+}
+
+// Register admits a worker and returns its lease.
+func (c *Coordinator) Register(hello api.WorkerHello) api.WorkerLease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	w := &workerState{
+		id: "w" + strconv.Itoa(c.nextWorker), num: c.nextWorker,
+		name:     hello.Name,
+		inflight: make(map[*task]string),
+		lastSeen: c.now(),
+	}
+	c.workers[w.id] = w
+	c.logger.Info("fabric: worker registered", "worker", w.id, "name", w.name)
+	return api.WorkerLease{ID: w.id, HeartbeatMillis: int64(c.hbTimeout / 3 / time.Millisecond)}
+}
+
+// Heartbeat refreshes a worker's lease.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[id]
+	if w == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownWorker, id)
+	}
+	w.lastSeen = c.now()
+	c.sweepLocked()
+	return nil
+}
+
+// Pull claims the next component for a worker: its own queue first
+// (largest first), then the unassigned pool, then — work-stealing — the
+// largest component of the largest remaining queue. A nil task with nil
+// error means "no work right now".
+func (c *Coordinator) Pull(id string) (*api.FabricTask, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[id]
+	if w == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorker, id)
+	}
+	w.lastSeen = c.now()
+	c.sweepLocked()
+	t := c.claimLocked(w)
+	if t == nil {
+		return nil, nil
+	}
+	cs := &t.j.comps[t.comp]
+	cs.epoch++
+	cs.worker = id
+	w.inflight[t] = t.j.id
+	if err := c.wal.append(walRecord{Type: recAssign, Job: t.j.id, Component: t.comp, Epoch: cs.epoch, Worker: id}); err != nil {
+		return nil, fmt.Errorf("fabric: wal append: %w", err)
+	}
+	j := t.j
+	return &api.FabricTask{
+		Job: j.id, Component: t.comp, Epoch: cs.epoch,
+		Checker: j.engine, Level: string(j.opts.Level),
+		SkipPreCheck: j.opts.SkipPreCheck, SparseRT: j.opts.SparseRT,
+		Parallelism: j.opts.Parallelism, Window: j.opts.Window,
+		History: j.p.Components[t.comp].H,
+	}, nil
+}
+
+// claimLocked picks the next live task for w, skipping tasks of jobs
+// that went terminal while queued.
+func (c *Coordinator) claimLocked(w *workerState) *task {
+	pop := func(q *[]*task) *task {
+		for len(*q) > 0 {
+			t := (*q)[0]
+			*q = (*q)[1:]
+			if t.j.state == JobPending && !t.j.comps[t.comp].done {
+				return t
+			}
+		}
+		return nil
+	}
+	if t := pop(&w.queue); t != nil {
+		return t
+	}
+	if t := pop(&c.unassigned); t != nil {
+		return t
+	}
+	// Steal from the largest remaining queue (deterministic: workers in
+	// registration order break ties).
+	var victim *workerState
+	for _, o := range c.sortedWorkers() {
+		if o == w || len(o.queue) == 0 {
+			continue
+		}
+		if victim == nil || o.queued() > victim.queued() {
+			victim = o
+		}
+	}
+	if victim != nil {
+		if t := pop(&victim.queue); t != nil {
+			c.logger.Info("fabric: stole work", "thief", w.id, "victim", victim.id, "job", t.j.id, "component", t.comp)
+			return t
+		}
+	}
+	return nil
+}
+
+// PushResult folds one component verdict. The fold is at-most-once: a
+// result whose epoch does not match the component's current epoch — a
+// straggler that was presumed dead and re-dispatched — is discarded
+// with Accepted=false. An engine error fails the whole job, matching
+// single-node sharded checking.
+func (c *Coordinator) PushResult(workerID string, res api.FabricResult) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return false, fmt.Errorf("%w: %q", ErrUnknownWorker, workerID)
+	}
+	w.lastSeen = c.now()
+	for t, jid := range w.inflight {
+		if jid == res.Job && t.comp == res.Component {
+			delete(w.inflight, t)
+		}
+	}
+	c.sweepLocked()
+	j := c.jobs[res.Job]
+	if j == nil || j.state != JobPending {
+		return false, nil
+	}
+	if res.Component < 0 || res.Component >= len(j.comps) {
+		return false, nil
+	}
+	cs := &j.comps[res.Component]
+	if cs.done || res.Epoch != cs.epoch {
+		return false, nil
+	}
+	if res.Error != "" {
+		c.failLocked(j, fmt.Sprintf("component %d: %s", res.Component, res.Error))
+		return true, nil
+	}
+	if res.Report == nil {
+		return false, nil
+	}
+	cs.done = true
+	cs.worker = ""
+	cs.report = *res.Report
+	if err := c.wal.append(walRecord{Type: recResult, Job: j.id, Component: res.Component, Epoch: res.Epoch, Worker: workerID, Report: res.Report}); err != nil {
+		return false, fmt.Errorf("fabric: wal append: %w", err)
+	}
+	j.remaining--
+	if j.remaining == 0 {
+		if err := c.fold(j); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// fold merges the per-component verdicts into the job's report and
+// makes it durable. Caller holds mu.
+func (c *Coordinator) fold(j *fabJob) error {
+	reports := make([]checker.Report, len(j.comps))
+	for i := range j.comps {
+		reports[i] = j.comps[i].report
+	}
+	merged := shard.Merge(j.p, j.engine, j.opts.Level, reports)
+	if err := c.wal.append(walRecord{Type: recDone, Job: j.id, Report: &merged}); err != nil {
+		return fmt.Errorf("fabric: wal append: %w", err)
+	}
+	c.terminate(j, JobDone, &merged, "")
+	c.logger.Info("fabric: job folded", "job", j.id, "ok", merged.OK, "components", len(j.comps))
+	return nil
+}
+
+// failLocked makes a job failure durable and terminal. Caller holds mu.
+func (c *Coordinator) failLocked(j *fabJob, msg string) {
+	if err := c.wal.append(walRecord{Type: recFail, Job: j.id, Error: msg}); err != nil {
+		c.logger.Error("fabric: wal append failed on job failure", "job", j.id, "err", err)
+	}
+	c.terminate(j, JobFailed, nil, msg)
+	c.logger.Info("fabric: job failed", "job", j.id, "err", msg)
+}
+
+// sweepLocked requeues the work of workers that missed their heartbeat
+// window: queued tasks return to the unassigned pool, and in-flight
+// components are re-dispatched under a bumped epoch, so the presumed-
+// dead worker's late result can no longer fold. Caller holds mu.
+func (c *Coordinator) sweepLocked() {
+	now := c.now()
+	for _, w := range c.sortedWorkers() {
+		if now.Sub(w.lastSeen) <= c.hbTimeout {
+			continue
+		}
+		if len(w.queue) == 0 && len(w.inflight) == 0 {
+			continue
+		}
+		c.logger.Info("fabric: worker missed heartbeats, requeueing its work",
+			"worker", w.id, "queued", len(w.queue), "in_flight", len(w.inflight))
+		for _, t := range w.queue {
+			if t.j.state == JobPending && !t.j.comps[t.comp].done {
+				c.pushUnassigned(t)
+			}
+		}
+		w.queue = nil
+		// Deterministic requeue order for the in-flight set.
+		tasks := make([]*task, 0, len(w.inflight))
+		for t := range w.inflight {
+			tasks = append(tasks, t)
+		}
+		sort.Slice(tasks, func(a, b int) bool {
+			if tasks[a].j.id != tasks[b].j.id {
+				return tasks[a].j.id < tasks[b].j.id
+			}
+			return tasks[a].comp < tasks[b].comp
+		})
+		for _, t := range tasks {
+			cs := &t.j.comps[t.comp]
+			if t.j.state != JobPending || cs.done {
+				continue
+			}
+			cs.epoch++
+			cs.worker = ""
+			if err := c.wal.append(walRecord{Type: recRequeue, Job: t.j.id, Component: t.comp, Epoch: cs.epoch, Worker: w.id}); err != nil {
+				c.logger.Error("fabric: wal append failed on requeue", "job", t.j.id, "err", err)
+			}
+			c.pushUnassigned(t)
+		}
+		w.inflight = make(map[*task]string)
+	}
+}
+
+// dropJobTasks removes a terminal job's tasks from every queue.
+func (c *Coordinator) dropJobTasks(j *fabJob) {
+	filter := func(q []*task) []*task {
+		out := q[:0]
+		for _, t := range q {
+			if t.j != j {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	c.unassigned = filter(c.unassigned)
+	for _, w := range c.workers {
+		w.queue = filter(w.queue)
+		for t := range w.inflight {
+			if t.j == j {
+				delete(w.inflight, t)
+			}
+		}
+	}
+}
+
+// leastLoadedAlive returns the live worker with the smallest pending
+// volume, or nil when no worker is live.
+func (c *Coordinator) leastLoadedAlive() *workerState {
+	now := c.now()
+	var best *workerState
+	for _, w := range c.sortedWorkers() {
+		if now.Sub(w.lastSeen) > c.hbTimeout {
+			continue
+		}
+		if best == nil || w.load() < best.load() {
+			best = w
+		}
+	}
+	return best
+}
+
+// sortedWorkers lists workers in registration order — the map iteration
+// fence that keeps placement and stealing deterministic.
+func (c *Coordinator) sortedWorkers() []*workerState {
+	ws := make([]*workerState, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(a, b int) bool { return ws[a].num < ws[b].num })
+	return ws
+}
+
+// pushUnassigned inserts t into the unassigned pool, kept sorted by
+// size descending so every claim takes the largest remaining component.
+func (c *Coordinator) pushUnassigned(t *task) {
+	at := sort.Search(len(c.unassigned), func(i int) bool { return c.unassigned[i].size < t.size })
+	c.unassigned = append(c.unassigned, nil)
+	copy(c.unassigned[at+1:], c.unassigned[at:])
+	c.unassigned[at] = t
+}
+
+// insertBySize inserts t into a worker queue ordered by size descending.
+func insertBySize(q []*task, t *task) []*task {
+	at := sort.Search(len(q), func(i int) bool { return q[i].size < t.size })
+	q = append(q, nil)
+	copy(q[at+1:], q[at:])
+	q[at] = t
+	return q
+}
+
+// Jobs lists every known job in submission order — the server's
+// re-adoption source after a restart.
+func (c *Coordinator) Jobs() []JobInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobInfo, 0, len(c.order))
+	for _, id := range c.order {
+		j := c.jobs[id]
+		out = append(out, JobInfo{
+			ID: j.id, State: j.state, Engine: j.engine, Opts: j.opts,
+			Txns: j.txns, Report: j.report, Err: j.errMsg,
+		})
+	}
+	return out
+}
+
+// Status snapshots workers, queues and jobs for GET /v1/fabric/status.
+func (c *Coordinator) Status() api.FabricStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	st := api.FabricStatus{Workers: []api.FabricWorkerStatus{}, Jobs: []api.FabricJobStatus{}}
+	for _, w := range c.sortedWorkers() {
+		st.Workers = append(st.Workers, api.FabricWorkerStatus{
+			ID: w.id, Name: w.name,
+			Queued: len(w.queue), InFlight: len(w.inflight),
+			IdleMillis: int64(now.Sub(w.lastSeen) / time.Millisecond),
+		})
+	}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		st.Jobs = append(st.Jobs, api.FabricJobStatus{
+			ID: j.id, State: j.state, Checker: j.engine, Level: string(j.opts.Level),
+			Txns: j.txns, Components: len(j.comps), Done: len(j.comps) - j.remaining,
+		})
+	}
+	st.Unassigned = len(c.unassigned)
+	return st
+}
+
+// Close closes the WAL; pending jobs stay durable and resume on the
+// next Open. The coordinator rejects further submissions but keeps
+// answering reads, so an HTTP shutdown can drain politely.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.wal.Close()
+}
+
+// discardHandler drops every log record (slog.DiscardHandler is Go
+// 1.24+ and the CI matrix still builds 1.23).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

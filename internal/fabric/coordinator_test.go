@@ -1,0 +1,478 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mtc/internal/api"
+	"mtc/internal/checker"
+	"mtc/internal/core"
+	"mtc/internal/history"
+	"mtc/internal/shard"
+)
+
+// fakeClock drives the coordinator's liveness sweeps deterministically:
+// no test here ever sleeps to make a worker die.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// tenantHistory builds a clean multi-tenant history with exactly
+// `tenants` key/session-disjoint components.
+func tenantHistory(tenants, txnsPerSession int) *history.History {
+	var keys []history.Key
+	for t := 0; t < tenants; t++ {
+		keys = append(keys, history.Key(fmt.Sprintf("t%dk", t)))
+	}
+	b := history.NewBuilder(keys...)
+	last := make(map[history.Key]history.Value)
+	val := history.Value(1)
+	for i := 0; i < txnsPerSession; i++ {
+		for tn := 0; tn < tenants; tn++ {
+			k := history.Key(fmt.Sprintf("t%dk", tn))
+			b.Txn(tn, history.R(k, last[k]), history.W(k, val))
+			last[k] = val
+			val++
+		}
+	}
+	return b.Build()
+}
+
+func openTestCoord(t *testing.T, path string, clk *fakeClock) *Coordinator {
+	t.Helper()
+	cfg := Config{HeartbeatTimeout: 100 * time.Millisecond}
+	if clk != nil {
+		cfg.now = clk.Now
+	}
+	c, err := Open(path, cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return c
+}
+
+// runTask executes a fabric task the way a worker would and returns the
+// result to push.
+func runTask(t *testing.T, task *api.FabricTask) api.FabricResult {
+	t.Helper()
+	rep, err := checker.Default.Run(context.Background(), task.Checker, task.History, checker.Options{
+		Level:        checker.Level(task.Level),
+		SkipPreCheck: task.SkipPreCheck, SparseRT: task.SparseRT,
+		Parallelism: task.Parallelism, Window: task.Window,
+	})
+	if err != nil {
+		t.Fatalf("engine run for %s/%d: %v", task.Job, task.Component, err)
+	}
+	return api.FabricResult{Job: task.Job, Component: task.Component, Epoch: task.Epoch, Report: &rep}
+}
+
+// drain pulls and completes work as the named worker until the
+// coordinator has none left for it.
+func drain(t *testing.T, c *Coordinator, workerID string) int {
+	t.Helper()
+	done := 0
+	for {
+		task, err := c.Pull(workerID)
+		if err != nil {
+			t.Fatalf("pull(%s): %v", workerID, err)
+		}
+		if task == nil {
+			return done
+		}
+		accepted, err := c.PushResult(workerID, runTask(t, task))
+		if err != nil {
+			t.Fatalf("push(%s): %v", workerID, err)
+		}
+		if !accepted {
+			t.Fatalf("fresh result for %s/%d rejected", task.Job, task.Component)
+		}
+		done++
+	}
+}
+
+// TestFabricDispatchFold checks the basic contract: a submitted job's
+// components flow through two workers and the fold is bit-identical to
+// single-node sharded checking (verdict, counts, components).
+func TestFabricDispatchFold(t *testing.T) {
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), nil)
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}()
+	w1 := c.Register(api.WorkerHello{Name: "w1"})
+	w2 := c.Register(api.WorkerHello{Name: "w2"})
+	h := tenantHistory(4, 5)
+	if err := c.Submit("j1", "mtc", h, checker.Options{Level: core.SI}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	n := drain(t, c, w1.ID) + drain(t, c, w2.ID)
+	if n != 4 {
+		t.Fatalf("completed %d components, want 4", n)
+	}
+	got, err := c.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	eng, err := checker.Lookup("mtc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := shard.Check(context.Background(), eng, h, checker.Options{Level: core.SI, Shard: 2})
+	if err != nil {
+		t.Fatalf("reference shard.Check: %v", err)
+	}
+	if got.OK != ref.OK || got.Txns != ref.Txns || got.Edges != ref.Edges ||
+		got.ShardComponents != ref.ShardComponents || got.Checker != ref.Checker || got.Level != ref.Level {
+		t.Fatalf("fabric verdict diverges from single-node sharded checking:\nfabric: %+v\nlocal:  %+v", got, ref)
+	}
+}
+
+// TestFabricSubmitIdempotent: resubmitting a known id is a no-op — the
+// property that lets the server blindly resubmit recovered jobs.
+func TestFabricSubmitIdempotent(t *testing.T) {
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), nil)
+	defer c.Close()
+	h := tenantHistory(2, 3)
+	for i := 0; i < 3; i++ {
+		if err := c.Submit("j1", "mtc", h, checker.Options{Level: core.SER}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if jobs := c.Jobs(); len(jobs) != 1 {
+		t.Fatalf("idempotent submit created %d jobs, want 1", len(jobs))
+	}
+}
+
+// TestFabricWorkStealing: every component initially lands on the only
+// live worker's queue; a later-registered idle worker steals from it.
+func TestFabricWorkStealing(t *testing.T) {
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), nil)
+	defer c.Close()
+	w1 := c.Register(api.WorkerHello{Name: "w1"})
+	if err := c.Submit("j1", "mtc", tenantHistory(4, 4), checker.Options{Level: core.SER}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st := c.Status()
+	if st.Workers[0].Queued != 4 || st.Unassigned != 0 {
+		t.Fatalf("placement: %+v", st)
+	}
+	w2 := c.Register(api.WorkerHello{Name: "w2"})
+	task, err := c.Pull(w2.ID)
+	if err != nil || task == nil {
+		t.Fatalf("idle worker stole nothing: task=%v err=%v", task, err)
+	}
+	st = c.Status()
+	if st.Workers[0].Queued != 3 || st.Workers[1].InFlight != 1 {
+		t.Fatalf("after steal: %+v", st)
+	}
+	// Finish the job cleanly across both workers.
+	if _, err := c.PushResult(w2.ID, runTask(t, task)); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c, w1.ID)
+	if _, err := c.Wait(context.Background(), "j1"); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+// TestFabricWorkerDeathEpochGuard is the at-most-once fold contract: a
+// worker that misses its heartbeat window has its in-flight component
+// re-dispatched under a fresh epoch, and the straggler's late result is
+// discarded rather than folded twice.
+func TestFabricWorkerDeathEpochGuard(t *testing.T) {
+	clk := newFakeClock()
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), clk)
+	defer c.Close()
+	w1 := c.Register(api.WorkerHello{Name: "w1"})
+	w2 := c.Register(api.WorkerHello{Name: "w2"})
+	if err := c.Submit("j1", "mtc", tenantHistory(1, 4), checker.Options{Level: core.SER}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	task1, err := c.Pull(w1.ID)
+	if err != nil || task1 == nil {
+		t.Fatalf("w1 pull: task=%v err=%v", task1, err)
+	}
+	res1 := runTask(t, task1) // w1 computes, then stalls before pushing
+
+	// w1 goes silent past the heartbeat window; w2's next interaction
+	// sweeps it and requeues the component under a bumped epoch.
+	clk.Advance(150 * time.Millisecond)
+	task2, err := c.Pull(w2.ID)
+	if err != nil || task2 == nil {
+		t.Fatalf("w2 pull after sweep: task=%v err=%v", task2, err)
+	}
+	if task2.Job != task1.Job || task2.Component != task1.Component {
+		t.Fatalf("w2 pulled %s/%d, want the requeued %s/%d", task2.Job, task2.Component, task1.Job, task1.Component)
+	}
+	if task2.Epoch <= task1.Epoch {
+		t.Fatalf("re-dispatch epoch %d not beyond original %d", task2.Epoch, task1.Epoch)
+	}
+
+	// The presumed-dead worker's push must be rejected as stale.
+	accepted, err := c.PushResult(w1.ID, res1)
+	if err != nil {
+		t.Fatalf("stale push: %v", err)
+	}
+	if accepted {
+		t.Fatal("stale-epoch result was accepted")
+	}
+	if st := c.Status(); st.Jobs[0].State != JobPending {
+		t.Fatalf("job terminal after stale push: %+v", st.Jobs[0])
+	}
+
+	// The current-epoch result folds.
+	accepted, err = c.PushResult(w2.ID, runTask(t, task2))
+	if err != nil || !accepted {
+		t.Fatalf("current-epoch push: accepted=%v err=%v", accepted, err)
+	}
+	rep, err := c.Wait(context.Background(), "j1")
+	if err != nil || !rep.OK {
+		t.Fatalf("wait: %+v %v", rep, err)
+	}
+}
+
+// TestFabricRestartResume is the durability tentpole: completed jobs
+// come back from the WAL served without re-running, and pending jobs
+// resume where they stopped with epochs past every logged dispatch.
+func TestFabricRestartResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.wal")
+	c1 := openTestCoord(t, path, nil)
+	w := c1.Register(api.WorkerHello{Name: "w1"})
+	hA, hB := tenantHistory(2, 4), tenantHistory(3, 4)
+	if err := c1.Submit("jA", "mtc", hA, checker.Options{Level: core.SI}); err != nil {
+		t.Fatal(err)
+	}
+	if n := drain(t, c1, w.ID); n != 2 {
+		t.Fatalf("jA drained %d components, want 2", n)
+	}
+	repA, err := c1.Wait(context.Background(), "jA")
+	if err != nil {
+		t.Fatalf("jA wait: %v", err)
+	}
+	if err := c1.Submit("jB", "mtc", hB, checker.Options{Level: core.SI}); err != nil {
+		t.Fatal(err)
+	}
+	// One component of jB is mid-flight at the "crash".
+	inflight, err := c1.Pull(w.ID)
+	if err != nil || inflight == nil {
+		t.Fatalf("jB pull: %v", err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	c2 := openTestCoord(t, path, nil)
+	defer c2.Close()
+	jobs := c2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(jobs))
+	}
+	byID := map[string]JobInfo{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	// jA: terminal with the folded report, served straight from the WAL.
+	if got := byID["jA"]; got.State != JobDone || got.Report == nil ||
+		got.Report.OK != repA.OK || got.Report.Edges != repA.Edges || got.Report.Txns != repA.Txns {
+		t.Fatalf("jA not recovered terminal: %+v", byID["jA"])
+	}
+	if rep, err := c2.Wait(context.Background(), "jA"); err != nil || rep.Edges != repA.Edges {
+		t.Fatalf("jA wait after restart: %+v %v", rep, err)
+	}
+	// jB: pending with all three components queued again.
+	if got := byID["jB"]; got.State != JobPending {
+		t.Fatalf("jB not pending after restart: %+v", got)
+	}
+	// The pre-crash worker's lease is gone.
+	if _, err := c2.Pull(w.ID); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("stale lease pull: %v, want ErrUnknownWorker", err)
+	}
+	w2 := c2.Register(api.WorkerHello{Name: "w2"})
+	seen := 0
+	for {
+		task, err := c2.Pull(w2.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task == nil {
+			break
+		}
+		if task.Job == inflight.Job && task.Component == inflight.Component && task.Epoch <= inflight.Epoch {
+			t.Fatalf("resumed dispatch epoch %d not beyond pre-crash %d", task.Epoch, inflight.Epoch)
+		}
+		if _, err := c2.PushResult(w2.ID, runTask(t, task)); err != nil {
+			t.Fatal(err)
+		}
+		seen++
+	}
+	if seen != 3 {
+		t.Fatalf("jB resumed %d components, want 3", seen)
+	}
+	rep, err := c2.Wait(context.Background(), "jB")
+	if err != nil || !rep.OK {
+		t.Fatalf("jB after restart: %+v %v", rep, err)
+	}
+	eng, _ := checker.Lookup("mtc")
+	ref, err := shard.Check(context.Background(), eng, hB, checker.Options{Level: core.SI, Shard: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != ref.OK || rep.Edges != ref.Edges || rep.Txns != ref.Txns || rep.ShardComponents != ref.ShardComponents {
+		t.Fatalf("resumed verdict diverges:\nfabric: %+v\nlocal:  %+v", rep, ref)
+	}
+}
+
+// TestFabricWALTornTail: a crash mid-append leaves an unterminated final
+// line; reopening drops it and resumes cleanly.
+func TestFabricWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.wal")
+	c1 := openTestCoord(t, path, nil)
+	if err := c1.Submit("j1", "mtc", tenantHistory(2, 3), checker.Options{Level: core.SER}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"result","job":"j1","compo`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openTestCoord(t, path, nil)
+	defer c2.Close()
+	jobs := c2.Jobs()
+	if len(jobs) != 1 || jobs[0].State != JobPending {
+		t.Fatalf("recovery over torn tail: %+v", jobs)
+	}
+	// And the log is append-clean again: complete the job and reopen once
+	// more.
+	w := c2.Register(api.WorkerHello{})
+	drain(t, c2, w.ID)
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3 := openTestCoord(t, path, nil)
+	defer c3.Close()
+	if jobs := c3.Jobs(); len(jobs) != 1 || jobs[0].State != JobDone {
+		t.Fatalf("post-torn-tail completion not durable: %+v", jobs)
+	}
+}
+
+// TestFabricWALCorruptMiddle: a malformed *terminated* line is
+// corruption, not a torn append — Open must refuse to resume over it.
+func TestFabricWALCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.wal")
+	if err := os.WriteFile(path, []byte(walHeader+"\n{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Config{}); err == nil {
+		t.Fatal("Open resumed over a corrupt record")
+	}
+}
+
+// TestFabricCancelDurable: a cancelled job is terminal, its tasks are
+// gone from every queue, and the cancellation survives a restart.
+func TestFabricCancelDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.wal")
+	c1 := openTestCoord(t, path, nil)
+	w := c1.Register(api.WorkerHello{})
+	if err := c1.Submit("j1", "mtc", tenantHistory(3, 3), checker.Options{Level: core.SER}); err != nil {
+		t.Fatal(err)
+	}
+	task, err := c1.Pull(w.ID)
+	if err != nil || task == nil {
+		t.Fatal(err)
+	}
+	c1.Cancel("j1", "user gave up")
+	if _, err := c1.Wait(context.Background(), "j1"); err == nil {
+		t.Fatal("wait on cancelled job succeeded")
+	}
+	// The in-flight result is discarded, and no work remains.
+	if accepted, _ := c1.PushResult(w.ID, runTask(t, task)); accepted {
+		t.Fatal("result folded into a cancelled job")
+	}
+	if task, _ := c1.Pull(w.ID); task != nil {
+		t.Fatalf("cancelled job still dispatches: %+v", task)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openTestCoord(t, path, nil)
+	defer c2.Close()
+	if jobs := c2.Jobs(); len(jobs) != 1 || jobs[0].State != JobFailed {
+		t.Fatalf("cancellation not durable: %+v", jobs)
+	}
+}
+
+// TestFabricEngineErrorFailsJob: a worker-side engine error fails the
+// whole job, matching single-node sharded checking.
+func TestFabricEngineErrorFailsJob(t *testing.T) {
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), nil)
+	defer c.Close()
+	w := c.Register(api.WorkerHello{})
+	if err := c.Submit("j1", "mtc", tenantHistory(2, 3), checker.Options{Level: core.SER}); err != nil {
+		t.Fatal(err)
+	}
+	task, err := c.Pull(w.ID)
+	if err != nil || task == nil {
+		t.Fatal(err)
+	}
+	accepted, err := c.PushResult(w.ID, api.FabricResult{
+		Job: task.Job, Component: task.Component, Epoch: task.Epoch,
+		Error: "engine exploded",
+	})
+	if err != nil || !accepted {
+		t.Fatalf("error push: accepted=%v err=%v", accepted, err)
+	}
+	if _, err := c.Wait(context.Background(), "j1"); err == nil {
+		t.Fatal("job with a failed component reported success")
+	}
+	if jobs := c.Jobs(); jobs[0].State != JobFailed {
+		t.Fatalf("job state %q, want failed", jobs[0].State)
+	}
+}
+
+// TestFabricShardedNameReduces: submitting under a "-sharded" wrapper
+// name runs the base engine — the coordinator itself is the sharding.
+func TestFabricShardedNameReduces(t *testing.T) {
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), nil)
+	defer c.Close()
+	w := c.Register(api.WorkerHello{})
+	if err := c.Submit("j1", "mtc-sharded", tenantHistory(2, 3), checker.Options{Level: core.SER}); err != nil {
+		t.Fatal(err)
+	}
+	task, err := c.Pull(w.ID)
+	if err != nil || task == nil {
+		t.Fatal(err)
+	}
+	if task.Checker != "mtc" {
+		t.Fatalf("task engine %q, want the base engine mtc", task.Checker)
+	}
+}

@@ -38,6 +38,9 @@ type job struct {
 	opts    checker.Options
 	timeout time.Duration
 	txns    int
+	// distributed routes execution through the fabric coordinator
+	// instead of calling the engine on the pool worker.
+	distributed bool
 	// h is released once the job is terminal, so completed jobs do not
 	// pin their submitted histories in memory.
 	h *history.History
@@ -66,7 +69,8 @@ func (j *job) status() api.Job {
 		Checker: j.checker, Level: string(j.opts.Level),
 		Txns: j.txns, Report: j.report, Error: j.errMsg,
 		Parallelism: j.opts.Parallelism, Shard: j.opts.Shard,
-		CreatedAt: j.created,
+		Distributed: j.distributed,
+		CreatedAt:   j.created,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -171,7 +175,14 @@ func (s *Server) Close() {
 // runJob executes one job on a pool worker under its timeout.
 func (s *Server) runJob(j *job) {
 	if j.ctx.Err() != nil { // deleted while queued
+		if j.distributed {
+			s.Fabric.Cancel(j.id, "job canceled before execution")
+		}
 		j.transition(api.JobCanceled, nil, "job canceled before execution")
+		return
+	}
+	if j.distributed {
+		s.runFabricJob(j)
 		return
 	}
 	j.mu.Lock()
@@ -245,9 +256,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.v1Error(w, r, http.StatusBadRequest, api.CodeUnknownChecker, "%v", err)
 		return
 	}
-	if req.Shard > 0 {
+	if req.Distributed && s.Fabric == nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest,
+			"this server is not a fabric coordinator (start it with -fabric-wal) and cannot run distributed jobs")
+		return
+	}
+	if req.Shard > 0 && !req.Distributed {
 		// Route through the component-sharded wrapper of the resolved
-		// engine; an already-sharded name passes through.
+		// engine; an already-sharded name passes through. A distributed
+		// job skips the wrapper: the fabric coordinator itself splits the
+		// history and folds the component verdicts, on the same plan.
 		base := name
 		name = shard.Name(name)
 		if c, err = s.reg.Lookup(name); err != nil {
@@ -297,7 +315,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		checker: name, opts: opts, timeout: timeout,
 		txns: len(req.History.Txns), h: req.History,
 		ctx: ctx, cancel: cancel,
-		state: api.JobQueued, created: time.Now(),
+		distributed: req.Distributed,
+		state:       api.JobQueued, created: time.Now(),
 	}
 	j.events = append(j.events, api.JobEvent{JobID: "", Seq: 0, State: api.JobQueued})
 
@@ -324,6 +343,19 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.v1Error(w, r, http.StatusTooManyRequests, api.CodeQueueFull,
 			"job queue is full (%d queued); retry shortly", s.queueDepth())
 		return
+	}
+	if j.distributed {
+		// Submit to the coordinator before acknowledging: the WAL append
+		// inside Submit is the durability point, so an accepted
+		// distributed job survives a coordinator restart even if no pool
+		// worker picked it up yet. (A pool worker then merely waits for
+		// the fold; Submit is idempotent for recovered jobs.)
+		if err := s.Fabric.Submit(j.id, name, req.History, opts); err != nil {
+			j.cancel()
+			j.transition(api.JobFailed, nil, err.Error())
+			s.v1Error(w, r, http.StatusInternalServerError, api.CodeInternal, "fabric submission failed: %v", err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
 }

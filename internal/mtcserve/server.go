@@ -50,6 +50,7 @@ import (
 	"mtc/internal/api"
 	"mtc/internal/checker"
 	"mtc/internal/core"
+	"mtc/internal/fabric"
 	"mtc/internal/history"
 )
 
@@ -118,6 +119,13 @@ type Server struct {
 	DefaultParallelism int
 	// Logger receives the structured access log; nil discards it.
 	Logger *slog.Logger
+	// Fabric, when non-nil, makes this server a distributed-checking
+	// coordinator: the /v1/fabric endpoints come alive for workers, and
+	// jobs submitted with "distributed": true are dispatched to the
+	// fabric instead of the local pool. Set it before serving (mtc-serve
+	// wires it from -fabric-wal) and call AdoptFabricJobs once to
+	// re-expose jobs recovered from the write-ahead log.
+	Fabric *fabric.Coordinator
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -326,6 +334,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/fixtures", s.handleFixtures)
 	mux.HandleFunc("GET /v1/fixtures/{name}", s.handleFixtureV1)
+
+	// Fabric coordinator surface; answers 400 unless the server was
+	// started as a coordinator (Fabric set).
+	mux.HandleFunc("POST /v1/fabric/workers", s.handleFabricRegister)
+	mux.HandleFunc("POST /v1/fabric/workers/{id}/heartbeat", s.handleFabricHeartbeat)
+	mux.HandleFunc("POST /v1/fabric/workers/{id}/pull", s.handleFabricPull)
+	mux.HandleFunc("POST /v1/fabric/workers/{id}/results", s.handleFabricResults)
+	mux.HandleFunc("GET /v1/fabric/status", s.handleFabricStatus)
 
 	// Pre-v1 aliases, kept for one deprecation cycle.
 	mux.HandleFunc("GET /checkers", deprecated("/v1/checkers", s.handleCheckers))

@@ -43,6 +43,9 @@ type (
 	SessionStatus = api.SessionStatus
 	// TxnPayload is the wire form of one streamed transaction.
 	TxnPayload = api.TxnPayload
+	// FabricStatus is the distributed-fabric status document: registered
+	// workers, their queues, and fabric job progress.
+	FabricStatus = api.FabricStatus
 )
 
 // Job states, re-exported.
@@ -247,6 +250,16 @@ func (c *Client) Healthy(ctx context.Context) error {
 func (c *Client) Checkers(ctx context.Context) ([]CheckerInfo, error) {
 	var out []CheckerInfo
 	err := c.do(ctx, http.MethodGet, "/v1/checkers", nil, &out)
+	return out, err
+}
+
+// FabricStatus reads the distributed-fabric status of a coordinator
+// server (mtc-serve -fabric-wal); other servers answer an *APIError
+// with status 400. Jobs run on the fabric when submitted with
+// JobRequest.Distributed set.
+func (c *Client) FabricStatus(ctx context.Context) (FabricStatus, error) {
+	var out FabricStatus
+	err := c.do(ctx, http.MethodGet, "/v1/fabric/status", nil, &out)
 	return out, err
 }
 
