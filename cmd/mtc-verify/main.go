@@ -6,6 +6,7 @@
 //	mtc-verify -level SI history.json
 //	mtc-verify -level SER -checker cobra -format text history.txt
 //	mtc-verify -level SI -stream -window 1024 capture.ndjson.gz
+//	mtc-verify -level SER -stream capture.mtcb
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 		level   = flag.String("level", "SI", "isolation level: SSER, SER or SI")
 		checker = flag.String("checker", "mtc", "checker: mtc, cobra, polysi, elle-wr")
 		format  = flag.String("format", "json", "history file format: json or text")
-		stream  = flag.Bool("stream", false, "verify an NDJSON capture transaction-by-transaction without loading it (mtc checker, SER or SI)")
+		stream  = flag.Bool("stream", false, "verify an NDJSON or MTCB capture transaction-by-transaction without loading it (codec sniffed by content; mtc checker, SER or SI)")
 		window  = flag.Int("window", 0, "with -stream: compact the checker to this window (0 = unbounded, always exact; windowed verdicts are exact for captures recorded in ingestion order — for session-grouped files the window must exceed the capture's commit-to-record skew or stale reads report ThinAirRead)")
 	)
 	flag.Parse()
@@ -103,10 +104,11 @@ func main() {
 	}
 }
 
-// streamVerify feeds an NDJSON capture straight into the online
-// checker: one transaction is held at a time, and with a window the
-// checker itself stays bounded too, so captures of any length verify in
-// near-constant memory.
+// streamVerify feeds an NDJSON or MTCB capture straight into the online
+// checker: the codec is sniffed by content (gzip unwrapped first), one
+// transaction is held at a time, and with a window the checker itself
+// stays bounded too, so captures of any length verify in near-constant
+// memory.
 func streamVerify(path string, lvl core.Level, window int) {
 	if lvl != core.SER && lvl != core.SI {
 		fatalf("-stream checks SER or SI")
@@ -116,7 +118,7 @@ func streamVerify(path string, lvl core.Level, window int) {
 		fatalf("open: %v", err)
 	}
 	defer f.Close()
-	sr, err := history.NewStreamReader(f)
+	sr, err := history.NewAutoStreamReader(f)
 	if err != nil {
 		fatalf("stream: %v", err)
 	}

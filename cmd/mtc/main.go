@@ -14,6 +14,7 @@
 //	mtc -level SI -stream -bug mariadb-galera-10.7.3
 //	mtc -level SSER -lwt -sessions 8 -txns 50
 //	mtc -level SI -out history.json
+//	mtc -level SER -txns 100000 -out history.mtcb.gz
 //	mtc -checkers
 package main
 
@@ -53,7 +54,7 @@ func main() {
 		bug          = flag.String("bug", "", "inject a Table II bug (see -bugs)")
 		listBugs     = flag.Bool("bugs", false, "list injectable bugs and exit")
 		lwt          = flag.Bool("lwt", false, "use lightweight transactions (CAS) and the linear-time SSER checker")
-		out          = flag.String("out", "", "save the generated history to this JSON file")
+		out          = flag.String("out", "", "save the generated history to this file; the extension picks the codec (.json, .txt, .ndjson, .mtcb, any +.gz; no extension = JSON)")
 		timeout      = flag.Duration("timeout", 0, "abort verification after this duration (0 = no limit)")
 		parallelism  = flag.Int("parallelism", 0, "worker pool size for the parallel engine phases (0 = GOMAXPROCS, 1 = serial)")
 		window       = flag.Int("window", 0, "epoch-compaction window for streaming/incremental verification: keep O(window) checker state instead of the whole history (0 = unbounded)")

@@ -1,0 +1,154 @@
+// codec_bench_test.go benchmarks history decoding across wire codecs on
+// the same 100k-transaction corpus. These are the acceptance numbers of
+// the MTCB binary codec: full decode to an in-memory history must run at
+// least 3x faster than NDJSON with at least 5x fewer allocations, and
+// the arena-backed frame path used by server sessions must amortize
+// per-batch allocation further still. CI gates the ratios (see the
+// bench job) so a regression in the binary hot path fails the build.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"mtc/internal/history"
+)
+
+const codecBenchTxns = 100_000
+
+// codecCorpus builds one deterministic 100k-txn clean RMW history and
+// its NDJSON and MTCB encodings, shared across benchmark iterations.
+var codecCorpus = sync.OnceValue(func() struct {
+	h      *history.History
+	ndjson []byte
+	mtcb   []byte
+} {
+	const (
+		keys     = 512
+		sessions = 16
+	)
+	keyNames := make([]history.Key, keys)
+	for i := range keyNames {
+		keyNames[i] = history.Key(fmt.Sprintf("acct%04d", i))
+	}
+	b := history.NewBuilder(keyNames...)
+	latest := make([]history.Value, keys)
+	next := history.Value(1)
+	for j := 0; j < codecBenchTxns; j++ {
+		k := j % keys
+		b.Txn(j%sessions,
+			history.R(keyNames[k], latest[k]),
+			history.W(keyNames[k], next),
+		)
+		latest[k] = next
+		next++
+	}
+	h := b.Build()
+	var nb, mb bytes.Buffer
+	if err := history.WriteNDJSON(&nb, h); err != nil {
+		panic(err)
+	}
+	if err := history.WriteMTCB(&mb, h); err != nil {
+		panic(err)
+	}
+	return struct {
+		h      *history.History
+		ndjson []byte
+		mtcb   []byte
+	}{h, nb.Bytes(), mb.Bytes()}
+})
+
+// BenchmarkDecode100kNDJSON is the text baseline: one reflect-driven
+// JSON decode per transaction line.
+func BenchmarkDecode100kNDJSON(b *testing.B) {
+	c := codecCorpus()
+	b.SetBytes(int64(len(c.ndjson)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := history.ReadNDJSON(bytes.NewReader(c.ndjson))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(h.Txns) != len(c.h.Txns) {
+			b.Fatalf("decoded %d txns, want %d", len(h.Txns), len(c.h.Txns))
+		}
+	}
+}
+
+// BenchmarkDecode100kMTCB decodes the binary twin straight into a
+// columnar index — the path fabric workers take on dispatch.
+func BenchmarkDecode100kMTCB(b *testing.B) {
+	c := codecCorpus()
+	b.SetBytes(int64(len(c.mtcb)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := history.ReadMTCBIndexed(bytes.NewReader(c.mtcb))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h := ix.History(); len(h.Txns) != len(c.h.Txns) {
+			b.Fatalf("decoded %d txns, want %d", len(h.Txns), len(c.h.Txns))
+		}
+	}
+}
+
+// BenchmarkSessionIngestArena replays the corpus as MTCB batch frames
+// through one arena-backed frame reader per frame, the way
+// POST /v1/sessions/{id}/batch ingests — op storage and key strings are
+// shared across every frame of a session.
+func BenchmarkSessionIngestArena(b *testing.B) {
+	c := codecCorpus()
+	const frameTxns = 1 << 10
+	// Pre-slice the corpus into frames once.
+	var frames [][]byte
+	for lo := 0; lo < len(c.h.Txns); lo += frameTxns {
+		hi := lo + frameTxns
+		if hi > len(c.h.Txns) {
+			hi = len(c.h.Txns)
+		}
+		var buf bytes.Buffer
+		bw, err := history.NewBinaryWriter(&buf, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, t := range c.h.Txns[lo:hi] {
+			t.ID = i
+			if err := bw.WriteTxn(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	b.SetBytes(int64(len(c.mtcb)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena := history.NewIngestArena()
+		total := 0
+		for _, frame := range frames {
+			fr, err := history.NewBinaryFrameReader(bytes.NewReader(frame), arena)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := fr.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+				total++
+			}
+		}
+		if total != len(c.h.Txns) {
+			b.Fatalf("ingested %d txns, want %d", total, len(c.h.Txns))
+		}
+	}
+}

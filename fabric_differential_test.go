@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"path/filepath"
@@ -59,9 +60,21 @@ func fabricCheck(t *testing.T, c *fabric.Coordinator, workers []api.WorkerLease,
 			continue
 		}
 		idle = 0
-		rep, err := checker.Default.Run(ctx, task.Checker, task.History, checker.Options{
-			Level: checker.Level(task.Level),
-		})
+		// A worker that advertised the mtcb codec receives the component
+		// as a binary payload; decode it straight to a columnar index the
+		// way fabric.RunWorker does. The mixed fleet below exercises both
+		// payload kinds within every job.
+		h := task.History
+		opts := checker.Options{Level: checker.Level(task.Level)}
+		if h == nil {
+			ix, err := hist.ReadMTCBIndexed(bytes.NewReader(task.HistoryMTCB))
+			if err != nil {
+				t.Fatalf("%s: decoding mtcb payload for %s/%d: %v", tag, task.Job, task.Component, err)
+			}
+			h = ix.History()
+			opts.Index = ix
+		}
+		rep, err := checker.Default.Run(ctx, task.Checker, h, opts)
 		res := api.FabricResult{Job: task.Job, Component: task.Component, Epoch: task.Epoch}
 		if err != nil {
 			res.Error = err.Error()
@@ -124,9 +137,12 @@ func TestDifferentialFabricVsSharded(t *testing.T) {
 			t.Fatalf("close: %v", cerr)
 		}
 	}()
+	// A mixed fleet: w2 negotiates the binary component codec, w1 and w3
+	// stay on JSON — every multi-component job dispatches both payload
+	// kinds and the fold must not care.
 	workers := []api.WorkerLease{
 		c.Register(api.WorkerHello{Name: "w1"}),
-		c.Register(api.WorkerHello{Name: "w2"}),
+		c.Register(api.WorkerHello{Name: "w2", Codecs: []string{"mtcb"}}),
 		c.Register(api.WorkerHello{Name: "w3"}),
 	}
 	var bugs []faults.Bug

@@ -29,6 +29,14 @@ type WorkerHello struct {
 	// Parallelism reports the engine parallelism the worker runs
 	// component checks with (informational).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Codecs lists the wire codecs this worker can decode component
+	// payloads from, beyond the implicit JSON baseline. A worker that
+	// advertises "mtcb" receives FabricTask.HistoryMTCB (the binary
+	// columnar encoding, decoded straight to a columnar index) instead
+	// of the JSON History. Coordinators ignore names they do not know,
+	// so old coordinators keep sending JSON to new workers and old
+	// workers (empty Codecs) keep receiving it from new coordinators.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // WorkerLease is the 201 body of a successful registration.
@@ -64,8 +72,17 @@ type FabricTask struct {
 	Parallelism  int  `json:"parallelism,omitempty"`
 	Window       int  `json:"window,omitempty"`
 	// History is the component's sub-history (local transaction ids; the
-	// coordinator remaps the verdict back to external positions).
-	History *history.History `json:"history"`
+	// coordinator remaps the verdict back to external positions). Nil
+	// when the coordinator negotiated the binary codec — exactly one of
+	// History and HistoryMTCB is set.
+	History *history.History `json:"history,omitempty"`
+	// HistoryMTCB is the component's sub-history in the MTCB binary
+	// columnar encoding (base64 inside the JSON envelope), sent to
+	// workers whose WorkerHello advertised the "mtcb" codec. The
+	// coordinator encodes each component once and serves the same bytes
+	// to every puller; the worker decodes them straight to a columnar
+	// index (history.ReadMTCBIndexed) with no JSON op materialization.
+	HistoryMTCB []byte `json:"history_mtcb,omitempty"`
 }
 
 // FabricResult is the body of POST /v1/fabric/workers/{id}/results: one

@@ -52,7 +52,7 @@ func (mtcChecker) Name() string    { return "mtc" }
 func (mtcChecker) Levels() []Level { return []Level{core.SI, core.SER, core.SSER} }
 
 func (mtcChecker) Check(ctx context.Context, h *history.History, opts Options) (Report, error) {
-	copts := core.Options{SkipPreCheck: opts.SkipPreCheck, SparseRT: opts.SparseRT, Parallelism: opts.Parallelism}
+	copts := core.Options{SkipPreCheck: opts.SkipPreCheck, SparseRT: opts.SparseRT, Parallelism: opts.Parallelism, Index: opts.Index}
 	start := time.Now()
 	r, err := core.CheckCtx(ctx, h, opts.Level, copts)
 	if err != nil {

@@ -89,6 +89,13 @@ type Options struct {
 	// identical to unsharded checking (differentially tested); base
 	// engines ignore the field.
 	Shard int
+	// Index optionally hands the MTC engine a prebuilt columnar index
+	// of the history under check (history.ReadMTCBIndexed builds one as
+	// a byproduct of decoding a binary fabric payload), skipping the
+	// intern-and-build pass. Used — after an Index.History() identity
+	// check — by the "mtc" engine only; the baselines and the
+	// incremental engine intern their own state and ignore it.
+	Index *history.Index
 }
 
 // PhaseTiming is the wall-clock cost of one engine phase, in

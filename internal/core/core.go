@@ -143,6 +143,22 @@ type Options struct {
 	// identical at every setting — node-sharded construction preserves
 	// per-node edge order.
 	Parallelism int
+	// Index optionally supplies a prebuilt columnar index of the
+	// history under check, skipping the O(ops) intern-and-build pass
+	// CheckSER/CheckSSER/CheckSI otherwise run. The MTCB indexed decode
+	// (history.ReadMTCBIndexed) produces one as a byproduct, so fabric
+	// workers check binary payloads without re-interning. Ignored —
+	// and rebuilt — unless Index.History() is the checked history.
+	Index *history.Index
+}
+
+// indexFor returns opts.Index when it indexes exactly h, else builds a
+// fresh columnar index.
+func indexFor(h *history.History, opts Options) *history.Index {
+	if opts.Index != nil && opts.Index.History() == h {
+		return opts.Index
+	}
+	return history.NewIndex(h)
 }
 
 // BuildDependency constructs the dependency graph of an MT history
@@ -261,7 +277,7 @@ func CheckSERCtx(ctx context.Context, h *history.History, opts Options) (Result,
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	ix := history.NewIndex(h)
+	ix := indexFor(h, opts)
 	if r := preCheck(ix, SER, opts); r != nil {
 		return *r, nil
 	}
@@ -299,7 +315,7 @@ func CheckSSERCtx(ctx context.Context, h *history.History, opts Options) (Result
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	ix := history.NewIndex(h)
+	ix := indexFor(h, opts)
 	if r := preCheck(ix, SSER, opts); r != nil {
 		return *r, nil
 	}
@@ -346,7 +362,7 @@ func CheckSICtx(ctx context.Context, h *history.History, opts Options) (Result, 
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	ix := history.NewIndex(h)
+	ix := indexFor(h, opts)
 	if r := preCheck(ix, SI, opts); r != nil {
 		return *r, nil
 	}

@@ -29,6 +29,7 @@
 package fabric
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -122,6 +123,12 @@ type fabJob struct {
 	txns   int
 	p      *shard.Partition
 	comps  []compState
+	// enc lazily caches the MTCB encoding of each component, filled on
+	// the first pull by a binary-capable worker and reused verbatim by
+	// every later dispatch (including requeues). Nil entries mean "not
+	// encoded yet"; the slice itself is allocated on first use. Guarded
+	// by the coordinator mutex like the rest of the job.
+	enc [][]byte
 	// remaining counts components without a folded verdict.
 	remaining int
 	state     string
@@ -136,6 +143,7 @@ type workerState struct {
 	id       string
 	num      int
 	name     string
+	mtcb     bool             // worker advertised the "mtcb" codec at registration
 	queue    []*task          // assigned, not yet dispatched; sorted by size descending
 	inflight map[*task]string // dispatched tasks -> job id (for requeue on death)
 	lastSeen time.Time
@@ -438,8 +446,13 @@ func (c *Coordinator) Register(hello api.WorkerHello) api.WorkerLease {
 		inflight: make(map[*task]string),
 		lastSeen: c.now(),
 	}
+	for _, codec := range hello.Codecs {
+		if codec == "mtcb" {
+			w.mtcb = true
+		}
+	}
 	c.workers[w.id] = w
-	c.logger.Info("fabric: worker registered", "worker", w.id, "name", w.name)
+	c.logger.Info("fabric: worker registered", "worker", w.id, "name", w.name, "mtcb", w.mtcb)
 	return api.WorkerLease{ID: w.id, HeartbeatMillis: int64(c.hbTimeout / 3 / time.Millisecond)}
 }
 
@@ -481,13 +494,44 @@ func (c *Coordinator) Pull(id string) (*api.FabricTask, error) {
 		return nil, fmt.Errorf("fabric: wal append: %w", err)
 	}
 	j := t.j
-	return &api.FabricTask{
+	out := &api.FabricTask{
 		Job: j.id, Component: t.comp, Epoch: cs.epoch,
 		Checker: j.engine, Level: string(j.opts.Level),
 		SkipPreCheck: j.opts.SkipPreCheck, SparseRT: j.opts.SparseRT,
 		Parallelism: j.opts.Parallelism, Window: j.opts.Window,
-		History: j.p.Components[t.comp].H,
-	}, nil
+	}
+	if w.mtcb {
+		enc, err := c.encodedComponentLocked(j, t.comp)
+		if err != nil {
+			// Should be unreachable (WriteMTCB on a validated component);
+			// fall back to the JSON payload rather than stalling the task.
+			c.logger.Error("fabric: mtcb encode failed, sending json", "job", j.id, "component", t.comp, "err", err)
+			out.History = j.p.Components[t.comp].H
+		} else {
+			out.HistoryMTCB = enc
+		}
+	} else {
+		out.History = j.p.Components[t.comp].H
+	}
+	return out, nil
+}
+
+// encodedComponentLocked returns the cached MTCB encoding of one
+// component, encoding it on first use. Re-dispatches (requeues, steals)
+// reuse the same bytes — each component is encoded at most once per
+// coordinator lifetime. Caller holds mu.
+func (c *Coordinator) encodedComponentLocked(j *fabJob, comp int) ([]byte, error) {
+	if j.enc == nil {
+		j.enc = make([][]byte, len(j.comps))
+	}
+	if j.enc[comp] == nil {
+		var buf bytes.Buffer
+		if err := history.WriteMTCB(&buf, j.p.Components[comp].H); err != nil {
+			return nil, err
+		}
+		j.enc[comp] = buf.Bytes()
+	}
+	return j.enc[comp], nil
 }
 
 // claimLocked picks the next live task for w, skipping tasks of jobs

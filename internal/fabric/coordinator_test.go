@@ -1,11 +1,13 @@
 package fabric
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -72,15 +74,26 @@ func openTestCoord(t *testing.T, path string, clk *fakeClock) *Coordinator {
 	return c
 }
 
-// runTask executes a fabric task the way a worker would and returns the
-// result to push.
+// runTask executes a fabric task the way a worker would — decoding a
+// binary payload to a columnar index when the coordinator negotiated the
+// mtcb codec — and returns the result to push.
 func runTask(t *testing.T, task *api.FabricTask) api.FabricResult {
 	t.Helper()
-	rep, err := checker.Default.Run(context.Background(), task.Checker, task.History, checker.Options{
+	h := task.History
+	opts := checker.Options{
 		Level:        checker.Level(task.Level),
 		SkipPreCheck: task.SkipPreCheck, SparseRT: task.SparseRT,
 		Parallelism: task.Parallelism, Window: task.Window,
-	})
+	}
+	if h == nil {
+		ix, err := history.ReadMTCBIndexed(bytes.NewReader(task.HistoryMTCB))
+		if err != nil {
+			t.Fatalf("decoding mtcb payload for %s/%d: %v", task.Job, task.Component, err)
+		}
+		h = ix.History()
+		opts.Index = ix
+	}
+	rep, err := checker.Default.Run(context.Background(), task.Checker, h, opts)
 	if err != nil {
 		t.Fatalf("engine run for %s/%d: %v", task.Job, task.Component, err)
 	}
@@ -146,6 +159,107 @@ func TestFabricDispatchFold(t *testing.T) {
 	if got.OK != ref.OK || got.Txns != ref.Txns || got.Edges != ref.Edges ||
 		got.ShardComponents != ref.ShardComponents || got.Checker != ref.Checker || got.Level != ref.Level {
 		t.Fatalf("fabric verdict diverges from single-node sharded checking:\nfabric: %+v\nlocal:  %+v", got, ref)
+	}
+}
+
+// TestFabricBinaryCodecNegotiation: a worker that advertised the mtcb
+// codec receives components as binary payloads (and only those — the
+// JSON history is omitted), a codec-less worker keeps receiving JSON,
+// both decode to the same component sub-history, and the fold over the
+// mixed fleet is bit-identical to single-node sharded checking.
+func TestFabricBinaryCodecNegotiation(t *testing.T) {
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), nil)
+	defer c.Close()
+	wb := c.Register(api.WorkerHello{Name: "wb", Codecs: []string{"mtcb"}})
+	wj := c.Register(api.WorkerHello{Name: "wj"})
+	h := tenantHistory(4, 5)
+	if err := c.Submit("j1", "mtc", h, checker.Options{Level: core.SI}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	p := shard.Split(h)
+	pulled := 0
+	for _, w := range []struct {
+		lease  api.WorkerLease
+		binary bool
+	}{{wb, true}, {wj, false}} {
+		for {
+			task, err := c.Pull(w.lease.ID)
+			if err != nil {
+				t.Fatalf("pull(%s): %v", w.lease.ID, err)
+			}
+			if task == nil {
+				break
+			}
+			pulled++
+			if w.binary {
+				if task.History != nil || task.HistoryMTCB == nil {
+					t.Fatalf("binary worker got history=%v mtcb=%d bytes; want mtcb only", task.History != nil, len(task.HistoryMTCB))
+				}
+				dec, err := history.ReadMTCB(bytes.NewReader(task.HistoryMTCB))
+				if err != nil {
+					t.Fatalf("decoding component %d: %v", task.Component, err)
+				}
+				if !reflect.DeepEqual(dec, p.Components[task.Component].H) {
+					t.Fatalf("component %d: binary payload decodes to a different sub-history", task.Component)
+				}
+			} else {
+				if task.History == nil || task.HistoryMTCB != nil {
+					t.Fatalf("json worker got history=%v mtcb=%d bytes; want history only", task.History != nil, len(task.HistoryMTCB))
+				}
+			}
+			if accepted, err := c.PushResult(w.lease.ID, runTask(t, task)); err != nil || !accepted {
+				t.Fatalf("push: accepted=%v err=%v", accepted, err)
+			}
+		}
+	}
+	if pulled != len(p.Components) {
+		t.Fatalf("pulled %d components, want %d", pulled, len(p.Components))
+	}
+	got, err := c.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	eng, err := checker.Lookup("mtc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := shard.Check(context.Background(), eng, h, checker.Options{Level: core.SI, Shard: 2})
+	if err != nil {
+		t.Fatalf("reference shard.Check: %v", err)
+	}
+	if got.OK != ref.OK || got.Txns != ref.Txns || got.Edges != ref.Edges || got.ShardComponents != ref.ShardComponents {
+		t.Fatalf("mixed-codec fold diverges:\nfabric: %+v\nlocal:  %+v", got, ref)
+	}
+}
+
+// TestFabricBinaryEncodingCached: the coordinator encodes each component
+// once — a requeue re-serves the identical cached bytes instead of
+// re-encoding.
+func TestFabricBinaryEncodingCached(t *testing.T) {
+	clk := newFakeClock()
+	c := openTestCoord(t, filepath.Join(t.TempDir(), "fabric.wal"), clk)
+	defer c.Close()
+	w1 := c.Register(api.WorkerHello{Name: "w1", Codecs: []string{"mtcb"}})
+	h := tenantHistory(1, 4)
+	if err := c.Submit("j1", "mtc", h, checker.Options{Level: core.SI}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	task1, err := c.Pull(w1.ID)
+	if err != nil || task1 == nil {
+		t.Fatalf("pull: task=%v err=%v", task1, err)
+	}
+	// Let w1 die; the component requeues under a fresh epoch.
+	clk.Advance(time.Second)
+	w2 := c.Register(api.WorkerHello{Name: "w2", Codecs: []string{"mtcb"}})
+	task2, err := c.Pull(w2.ID)
+	if err != nil || task2 == nil {
+		t.Fatalf("pull after requeue: task=%v err=%v", task2, err)
+	}
+	if task2.Epoch <= task1.Epoch {
+		t.Fatalf("requeued epoch %d not bumped past %d", task2.Epoch, task1.Epoch)
+	}
+	if &task1.HistoryMTCB[0] != &task2.HistoryMTCB[0] {
+		t.Fatal("re-dispatch re-encoded the component instead of serving the cached bytes")
 	}
 }
 

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 
 	"mtc/internal/api"
 	"mtc/internal/checker"
+	"mtc/internal/history"
 )
 
 // WorkerConfig tunes RunWorker.
@@ -36,6 +38,15 @@ type WorkerConfig struct {
 	// an idle worker's pulls double as its heartbeats).
 	PollInterval time.Duration
 }
+
+// GzipThreshold is the body size, in bytes, at which the fabric's HTTP
+// sides start compressing: the worker gzips result bodies at least this
+// large (Content-Encoding: gzip), and the coordinator's pull handler
+// gzips task responses at least this large when the worker advertised
+// Accept-Encoding: gzip. Small control messages (heartbeats, pulls with
+// no work, acks) stay uncompressed — gzip overhead would exceed the
+// saving.
+const GzipThreshold = 4 << 10
 
 // errLeaseLost marks a 404 from a fabric endpoint: the coordinator does
 // not know our worker id — typically because it restarted and all
@@ -110,7 +121,8 @@ func (w *workerClient) register(ctx context.Context) error {
 	backoff := 250 * time.Millisecond
 	for {
 		var lease api.WorkerLease
-		status, err := w.post(ctx, "/v1/fabric/workers", api.WorkerHello{Name: w.name, Parallelism: w.par}, &lease)
+		hello := api.WorkerHello{Name: w.name, Parallelism: w.par, Codecs: []string{"mtcb"}}
+		status, err := w.post(ctx, "/v1/fabric/workers", hello, &lease)
 		if err == nil && status == http.StatusCreated && lease.ID != "" {
 			w.lease = lease
 			w.logger.Info("fabric worker: registered", "lease", lease.ID, "heartbeat_ms", lease.HeartbeatMillis)
@@ -169,11 +181,35 @@ func (w *workerClient) serve(ctx context.Context) error {
 }
 
 // execute checks one component and pushes its verdict, heartbeating
-// while the engine runs.
+// while the engine runs. A binary payload (HistoryMTCB) is decoded
+// straight to a columnar index; the index rides along in the checker
+// options so the MTC engine skips its own intern-and-build pass.
 func (w *workerClient) execute(ctx context.Context, task *api.FabricTask, hbEvery time.Duration) error {
+	opts := checker.Options{
+		Level:        checker.Level(task.Level),
+		SkipPreCheck: task.SkipPreCheck, SparseRT: task.SparseRT,
+		Parallelism: task.Parallelism, Window: task.Window,
+	}
+	h := task.History
+	if h == nil {
+		ix, err := history.ReadMTCBIndexed(bytes.NewReader(task.HistoryMTCB))
+		if err != nil {
+			// A payload we cannot decode will never decode on retry: report
+			// the failure so the coordinator fails the job instead of the
+			// component ping-ponging between workers.
+			w.logger.Info("fabric worker: binary payload decode failed",
+				"job", task.Job, "component", task.Component, "err", err)
+			return w.push(ctx, api.FabricResult{
+				Job: task.Job, Component: task.Component, Epoch: task.Epoch,
+				Error: fmt.Sprintf("decoding mtcb component payload: %v", err),
+			})
+		}
+		h = ix.History()
+		opts.Index = ix
+	}
 	w.logger.Info("fabric worker: checking component",
 		"job", task.Job, "component", task.Component, "epoch", task.Epoch,
-		"checker", task.Checker, "txns", len(task.History.Txns))
+		"checker", task.Checker, "txns", len(h.Txns), "binary", task.History == nil)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
@@ -182,11 +218,7 @@ func (w *workerClient) execute(ctx context.Context, task *api.FabricTask, hbEver
 	}
 	resCh := make(chan outcome, 1)
 	go func() {
-		rep, err := w.reg.Run(runCtx, task.Checker, task.History, checker.Options{
-			Level:        checker.Level(task.Level),
-			SkipPreCheck: task.SkipPreCheck, SparseRT: task.SparseRT,
-			Parallelism: task.Parallelism, Window: task.Window,
-		})
+		rep, err := w.reg.Run(runCtx, task.Checker, h, opts)
 		resCh <- outcome{rep, err}
 	}()
 	ticker := time.NewTicker(hbEvery)
@@ -296,16 +328,36 @@ func (w *workerClient) push(ctx context.Context, res api.FabricResult) error {
 // post sends one JSON request and decodes the response body into out
 // (when non-nil and the status has a body). The status code is returned
 // for the caller to interpret; only transport failures are errors.
+//
+// Bodies at least GzipThreshold bytes (large component verdicts) travel
+// compressed with Content-Encoding: gzip; the request always advertises
+// Accept-Encoding: gzip and inflates a gzipped response itself — setting
+// the header explicitly disables the transport's transparent
+// decompression, so both directions are handled here, symmetrically.
 func (w *workerClient) post(ctx context.Context, path string, in, out any) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
+	}
+	gzipped := false
+	if len(body) >= GzipThreshold {
+		var zb bytes.Buffer
+		zw := gzip.NewWriter(&zb)
+		_, werr := zw.Write(body)
+		if cerr := zw.Close(); werr == nil && cerr == nil && zb.Len() < len(body) {
+			body = zb.Bytes()
+			gzipped = true
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "gzip")
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
 	resp, err := w.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -315,7 +367,16 @@ func (w *workerClient) post(ctx context.Context, path string, in, out any) (int,
 		_ = resp.Body.Close()
 	}()
 	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		var rbody io.Reader = resp.Body
+		if resp.Header.Get("Content-Encoding") == "gzip" {
+			zr, err := gzip.NewReader(resp.Body)
+			if err != nil {
+				return resp.StatusCode, fmt.Errorf("fabric worker: inflating %s response: %w", path, err)
+			}
+			defer zr.Close()
+			rbody = zr
+		}
+		if err := json.NewDecoder(rbody).Decode(out); err != nil {
 			return resp.StatusCode, fmt.Errorf("fabric worker: decoding %s response: %w", path, err)
 		}
 	}

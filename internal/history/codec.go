@@ -31,36 +31,83 @@ func ReadJSON(r io.Reader) (*History, error) {
 	return &h, nil
 }
 
+// fileCodecs is the single extension→codec table behind both the save
+// path (SaveFile picks the writer by extension) and the load path
+// (ReadAuto sniffs by the content marker documented here, never by
+// extension), so the two can never disagree about what a suffix means:
+//
+//	.json    WriteJSON/ReadJSON      sniffed by a leading '{' or '['
+//	.txt     WriteText/ReadText      the fallback when nothing else sniffs
+//	.ndjson  WriteNDJSON/ReadNDJSON  sniffed by the self-identifying header line
+//	.mtcb    WriteMTCB/ReadMTCB      sniffed by the 4-byte "MTCB" magic
+//
+// A ".gz" suffix wraps any of them in transparent gzip (sniffed by the
+// gzip magic). An extensionless path saves JSON — the historical
+// default, which round-trips via the JSON sniff.
+var fileCodecs = map[string]func(io.Writer, *History) error{
+	".json":   WriteJSON,
+	".txt":    WriteText,
+	".ndjson": WriteNDJSON,
+	".mtcb":   WriteMTCB,
+}
+
+// saveWriter resolves the codec for path's inner extension, rejecting
+// requests SaveFile cannot honour round-trip: an unrecognized extension
+// (the old behaviour silently wrote JSON, so a later LoadFile sniffed
+// back a different format than the name promised), a doubled ".gz", or
+// the text format for a history whose keys its whitespace-delimited
+// lines cannot represent.
+func saveWriter(ext string, h *History) (func(io.Writer, *History) error, error) {
+	if ext == "" {
+		return WriteJSON, nil
+	}
+	write, ok := fileCodecs[ext]
+	if !ok {
+		return nil, fmt.Errorf("history: save %q: unknown extension (want .json, .txt, .ndjson, .mtcb, optionally +.gz, or none for JSON)", ext)
+	}
+	if ext == ".txt" {
+		for _, k := range h.Keys() {
+			if k == "" || strings.ContainsAny(string(k), " \t\r\n") {
+				return nil, fmt.Errorf("history: save: text format cannot round-trip key %q; use .json, .ndjson or .mtcb", k)
+			}
+		}
+	}
+	return write, nil
+}
+
 // SaveFile writes the history to path. A ".gz" suffix selects
 // transparent gzip compression; the format is chosen by the remaining
-// extension — ".txt" writes the line-oriented text format, ".ndjson"
-// the streaming one-transaction-per-line encoding, anything else the
-// JSON encoding. "h.json", "h.json.gz", "h.txt", "h.txt.gz", "h.ndjson"
-// and "h.ndjson.gz" all round-trip through LoadFile.
+// extension through the fileCodecs table — ".json", ".txt", ".ndjson"
+// or ".mtcb", with no extension defaulting to JSON. Every combination
+// round-trips through LoadFile; an extension that would not (unknown,
+// doubled ".gz", or ".txt" with keys the text format cannot encode) is
+// rejected instead of silently written in another format.
 func SaveFile(path string, h *History) error {
+	inner := path
+	gzipped := strings.EqualFold(filepath.Ext(path), ".gz")
+	if gzipped {
+		inner = strings.TrimSuffix(path, filepath.Ext(path))
+		if strings.EqualFold(filepath.Ext(inner), ".gz") {
+			return fmt.Errorf("history: save %q: doubled .gz extension", path)
+		}
+	}
+	write, err := saveWriter(strings.ToLower(filepath.Ext(inner)), h)
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	inner := path
 	var w io.Writer = f
 	var zw *gzip.Writer
-	if strings.EqualFold(filepath.Ext(path), ".gz") {
-		inner = strings.TrimSuffix(path, filepath.Ext(path))
+	if gzipped {
 		zw = gzip.NewWriter(f)
 		w = zw
 	}
 	bw := bufio.NewWriter(w)
-	switch {
-	case strings.EqualFold(filepath.Ext(inner), ".txt"):
-		err = WriteText(bw, h)
-	case strings.EqualFold(filepath.Ext(inner), ".ndjson"):
-		err = WriteNDJSON(bw, h)
-	default:
-		err = WriteJSON(bw, h)
-	}
-	if err != nil {
+	if err := write(bw, h); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -80,10 +127,11 @@ func SaveFile(path string, h *History) error {
 }
 
 // LoadFile reads a history from path, sniffing the encoding by content
-// rather than trusting the extension: a gzip stream (magic 0x1f 0x8b) is
-// decompressed transparently, and the payload's first non-space byte
-// decides between the JSON codec ('{' or '[') and the line-oriented text
-// format.
+// rather than trusting the extension (the markers are documented on the
+// fileCodecs table): a gzip stream (magic 0x1f 0x8b) is decompressed
+// transparently, the MTCB magic selects the binary codec, the NDJSON
+// header line the streaming codec, a leading '{' or '[' the JSON codec,
+// and anything else falls through to the line-oriented text format.
 func LoadFile(path string) (*History, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -94,7 +142,7 @@ func LoadFile(path string) (*History, error) {
 }
 
 // ReadAuto reads a history from r with the same content sniffing as
-// LoadFile (gzip, then NDJSON vs JSON vs text).
+// LoadFile (gzip, then MTCB vs NDJSON vs JSON vs text).
 func ReadAuto(r io.Reader) (*History, error) {
 	br := bufio.NewReader(r)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
@@ -108,6 +156,9 @@ func ReadAuto(r io.Reader) (*History, error) {
 	if _, err := br.Peek(1); err != nil {
 		return nil, fmt.Errorf("history: empty input: %w", err)
 	}
+	if magic, err := br.Peek(len(MTCBMagic)); err == nil && string(magic) == MTCBMagic {
+		return ReadMTCB(br)
+	}
 	if sniffNDJSON(br) {
 		return ReadNDJSON(br)
 	}
@@ -115,6 +166,45 @@ func ReadAuto(r io.Reader) (*History, error) {
 		return ReadJSON(br)
 	}
 	return ReadText(br)
+}
+
+// TxnStream is the incremental-decoder surface the NDJSON StreamReader
+// and the binary BinaryReader share: transactions one at a time until
+// io.EOF, plus the header metadata a streaming check consumes. Both
+// types satisfy core.TxnSource through it.
+type TxnStream interface {
+	// Next returns the next transaction in stream order, or io.EOF after
+	// the last one.
+	Next() (Txn, error)
+	// DeclaredSessions returns the header's declared session count, or 0
+	// when the writer did not know it.
+	DeclaredSessions() int
+	// HasInit reports whether the prefix consumed so far carried an init
+	// transaction.
+	HasInit() bool
+	// NumTxns returns how many transactions have been consumed.
+	NumTxns() int
+}
+
+// NewAutoStreamReader opens an incremental transaction decoder over r,
+// sniffing the stream codec by content exactly like ReadAuto: a gzip
+// layer is unwrapped first, then the MTCB magic selects the binary
+// reader and anything else the NDJSON reader (the only two codecs with
+// a streaming decode). mtc-verify -stream verifies either capture
+// format through it without a format flag.
+func NewAutoStreamReader(r io.Reader) (TxnStream, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("history: gzip: %w", err)
+		}
+		br = bufio.NewReader(zr)
+	}
+	if magic, err := br.Peek(len(MTCBMagic)); err == nil && string(magic) == MTCBMagic {
+		return NewBinaryReader(br)
+	}
+	return NewStreamReader(br)
 }
 
 // sniffNDJSON reports whether the buffered payload opens with the

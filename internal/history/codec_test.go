@@ -21,12 +21,15 @@ func codecFixture() *History {
 }
 
 // TestSaveLoadRoundTrip round-trips every extension combination SaveFile
-// understands — JSON, text, and their gzipped forms — through LoadFile's
-// content sniffing.
+// understands — JSON, text, NDJSON, MTCB, and their gzipped forms —
+// through LoadFile's content sniffing.
 func TestSaveLoadRoundTrip(t *testing.T) {
 	h := codecFixture()
 	dir := t.TempDir()
-	for _, name := range []string{"h.json", "h.txt", "h.json.gz", "h.txt.gz", "h"} {
+	for _, name := range []string{
+		"h.json", "h.txt", "h.json.gz", "h.txt.gz", "h",
+		"h.mtcb", "h.mtcb.gz", "h.ndjson", "h.ndjson.gz",
+	} {
 		path := filepath.Join(dir, name)
 		if err := SaveFile(path, h); err != nil {
 			t.Fatalf("%s: save: %v", name, err)
@@ -37,6 +40,45 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, h) {
 			t.Fatalf("%s: round trip diverged:\nsaved:  %+v\nloaded: %+v", name, h, got)
+		}
+	}
+}
+
+// TestSaveFileRejectsUnroundtrippable: extensions the save/sniff pair
+// cannot honour fail loudly instead of silently writing another format —
+// unknown suffixes (the old behaviour wrote JSON under any name),
+// doubled .gz, and text saves of keys the whitespace-delimited format
+// cannot represent.
+func TestSaveFileRejectsUnroundtrippable(t *testing.T) {
+	h := codecFixture()
+	dir := t.TempDir()
+	for _, name := range []string{"h.bin", "h.dat.gz", "h.gz.gz", "h.mtcbx"} {
+		if err := SaveFile(filepath.Join(dir, name), h); err == nil {
+			t.Errorf("%s: ambiguous extension accepted", name)
+		}
+	}
+	// Bare .gz: the inner name has no extension, so it is gzipped JSON.
+	if err := SaveFile(filepath.Join(dir, "h.gz"), h); err != nil {
+		t.Fatalf("h.gz: %v", err)
+	}
+	if got, err := LoadFile(filepath.Join(dir, "h.gz")); err != nil || !reflect.DeepEqual(got, h) {
+		t.Fatalf("h.gz round trip: %v", err)
+	}
+	// A key with whitespace shreds the text format's field splitting;
+	// the table-driven save must refuse rather than corrupt.
+	b := NewBuilder()
+	b.Txn(0, W("key with spaces", 1))
+	tricky := b.Build()
+	if err := SaveFile(filepath.Join(dir, "tricky.txt"), tricky); err == nil {
+		t.Fatal("text save of whitespace key accepted")
+	}
+	for _, name := range []string{"tricky.json", "tricky.mtcb", "tricky.ndjson"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, tricky); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		if got, err := LoadFile(path); err != nil || !reflect.DeepEqual(got, tricky) {
+			t.Fatalf("%s: round trip: %v", name, err)
 		}
 	}
 }

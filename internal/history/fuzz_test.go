@@ -2,7 +2,9 @@ package history
 
 import (
 	"bytes"
+	"compress/gzip"
 	"io"
+	"reflect"
 	"testing"
 )
 
@@ -67,6 +69,99 @@ func FuzzStreamReader(f *testing.F) {
 		}
 		if err := h.Validate(); err != nil {
 			t.Fatalf("ReadNDJSON accepted a structurally invalid history: %v", err)
+		}
+	})
+}
+
+// mtcbFuzzSeeds returns MTCB-shaped seeds: valid documents (plain and
+// gzip-wrapped), truncations at awkward offsets (mid-header, mid-key
+// table, mid-varint, missing end record), a corrupt-varint tail, and a
+// duplicated key table.
+func mtcbFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var mb bytes.Buffer
+	if err := WriteMTCB(&mb, ndjsonFixture()); err != nil {
+		tb.Fatal(err)
+	}
+	doc := mb.Bytes()
+	seeds := [][]byte{doc}
+	for _, cut := range []int{1, 5, 9, len(doc) / 2, len(doc) - 1} {
+		if cut > 0 && cut < len(doc) {
+			seeds = append(seeds, doc[:cut])
+		}
+	}
+	var zb bytes.Buffer
+	zw := gzip.NewWriter(&zb)
+	if _, err := zw.Write(doc); err != nil {
+		tb.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds,
+		zb.Bytes(),
+		[]byte(MTCBMagic),
+		[]byte(MTCBMagic+"\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f"), // corrupt varint header
+		[]byte(MTCBMagic+"\x01\x00\x02\x01x\x01x\x00"),                   // duplicate key-table entries
+		[]byte(MTCBMagic+"\x02\x00\x00\x00"),                             // future version
+	)
+	return seeds
+}
+
+// FuzzBinaryReader drives the MTCB decoder with arbitrary bytes: any
+// input must either decode to a structurally valid history — with the
+// indexed fast path agreeing with the plain one — or return an error;
+// never panic, never silently accept a truncated document.
+func FuzzBinaryReader(f *testing.F) {
+	for _, s := range mtcbFuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := sr.Next(); err != nil {
+				if err != io.EOF {
+					return // malformed record surfaced as an error: fine
+				}
+				break
+			}
+		}
+		// The stream decoded fully; the assembled history must be
+		// structurally well-formed, and the zero-copy indexed decode
+		// must accept it too and agree on the transactions.
+		h, err := ReadMTCB(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("ReadMTCB accepted a structurally invalid history: %v", err)
+		}
+		ix, err := ReadMTCBIndexed(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("plain decode accepted but indexed decode rejected: %v", err)
+		}
+		if !reflect.DeepEqual(ix.History(), h) {
+			t.Fatal("indexed decode diverged from plain decode")
+		}
+		// Frame decoding through an arena must agree as well.
+		fr, err := NewBinaryFrameReader(bytes.NewReader(data), NewIngestArena())
+		if err != nil {
+			t.Fatalf("frame reader rejected what ReadMTCB accepted: %v", err)
+		}
+		for i := 0; ; i++ {
+			tx, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("frame decode error after plain decode succeeded: %v", err)
+			}
+			if !reflect.DeepEqual(tx, h.Txns[i]) {
+				t.Fatalf("frame txn %d diverged from plain decode", i)
+			}
 		}
 	})
 }

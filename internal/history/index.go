@@ -104,46 +104,55 @@ type Index struct {
 // the postings sort; everything downstream of it is allocation-free
 // column iteration.
 func NewIndex(h *History) *Index {
-	ix := &Index{h: h, it: NewInterner()}
-
-	// Intern in first-seen order, then remap to lexicographic rank so
-	// KeyID order equals key-name order.
+	// Intern in first-seen order, recording each op's id into a flat
+	// column, then remap the column to lexicographic rank so KeyID
+	// order equals key-name order. The builders below consume the
+	// column by position — no per-op map lookup after this pass.
 	nOps := 0
 	for i := range h.Txns {
 		nOps += len(h.Txns[i].Ops)
+	}
+	first := NewInterner()
+	opIDs := make([]KeyID, nOps)
+	pos := 0
+	for i := range h.Txns {
 		for _, op := range h.Txns[i].Ops {
-			ix.it.Intern(op.Key)
+			opIDs[pos] = first.Intern(op.Key)
+			pos++
 		}
 	}
-	nk := ix.it.Len()
+	nk := first.Len()
 	sortedNames := make([]Key, nk)
-	copy(sortedNames, ix.it.names)
+	copy(sortedNames, first.names)
 	sort.Slice(sortedNames, func(i, j int) bool { return sortedNames[i] < sortedNames[j] })
 	remap := make([]KeyID, nk) // first-seen id -> sorted rank
 	sorted := NewInterner()
 	for _, k := range sortedNames {
 		sorted.Intern(k)
 	}
-	for id, k := range ix.it.names {
+	for id, k := range first.names {
 		remap[id], _ = sorted.Lookup(k)
 	}
-	oldIt := ix.it
-	ix.it = sorted
-	kid := func(k Key) KeyID {
-		id, _ := oldIt.Lookup(k)
-		return remap[id]
-	}
+	remapColumn(opIDs, remap)
+	return newIndexColumns(h, sorted, opIDs)
+}
 
-	ix.buildFootprints(h, nOps, kid)
-	ix.buildPostings(h, nOps, kid)
+// newIndexColumns assembles an Index from a sorted interner and the
+// flat per-op KeyID column (one id per op of h, in transaction-then-
+// program order). NewIndex derives the column by interning; the MTCB
+// indexed decoder hands over the remapped wire ids directly.
+func newIndexColumns(h *History, it *Interner, opIDs []KeyID) *Index {
+	ix := &Index{h: h, it: it}
+	ix.buildFootprints(h, opIDs)
+	ix.buildPostings(h, opIDs)
 	return ix
 }
 
 // buildFootprints fills the per-txn read/write columns.
 //
 //mtc:hotpath — columnar index construction; the 9-allocs-per-10k-txn contract starts here
-func (ix *Index) buildFootprints(h *History, nOps int, kid func(Key) KeyID) {
-	n := len(h.Txns)
+func (ix *Index) buildFootprints(h *History, opIDs []KeyID) {
+	n, nOps := len(h.Txns), len(opIDs)
 	ix.readOff = make([]int32, n+1)
 	ix.writeOff = make([]int32, n+1)
 	ix.readKey = make([]KeyID, 0, nOps/2)
@@ -162,16 +171,18 @@ func (ix *Index) buildFootprints(h *History, nOps int, kid func(Key) KeyID) {
 		readGen[i], writeGen[i] = -1, -1
 	}
 
+	pos := 0 // opIDs cursor; advances over aborted txns' ops too
 	for t := range h.Txns {
 		ix.readOff[t] = int32(len(ix.readKey))
 		ix.writeOff[t] = int32(len(ix.writeKey))
 		txn := &h.Txns[t]
 		if !txn.Committed {
+			pos += len(txn.Ops)
 			continue
 		}
 		gen := int32(t)
-		for _, op := range txn.Ops {
-			k := kid(op.Key)
+		for j, op := range txn.Ops {
+			k := opIDs[pos+j]
 			switch op.Kind {
 			case OpRead:
 				if writeGen[k] != gen && readGen[k] != gen {
@@ -190,6 +201,7 @@ func (ix *Index) buildFootprints(h *History, nOps int, kid func(Key) KeyID) {
 				}
 			}
 		}
+		pos += len(txn.Ops)
 		sortColumn(ix.readKey[ix.readOff[t]:], ix.readVal[ix.readOff[t]:])
 		sortColumn(ix.writeKey[ix.writeOff[t]:], ix.writeVal[ix.writeOff[t]:])
 	}
@@ -223,22 +235,25 @@ type kvt struct {
 // duplicate-write list, and the per-key writer lists.
 //
 //mtc:hotpath — postings merge-join feeding every Writer/WritersOf lookup
-func (ix *Index) buildPostings(h *History, nOps int, kid func(Key) KeyID) {
+func (ix *Index) buildPostings(h *History, opIDs []KeyID) {
+	nOps := len(opIDs)
 	committed := make([]kvt, 0, nOps/2)
 	var aborted []kvt
+	pos := 0 // opIDs cursor, aligned with the nested op iteration
 	for t := range h.Txns {
 		txn := &h.Txns[t]
-		for _, op := range txn.Ops {
+		for j, op := range txn.Ops {
 			if op.Kind != OpWrite {
 				continue
 			}
-			e := kvt{k: kid(op.Key), v: op.Value, t: int32(t)}
+			e := kvt{k: opIDs[pos+j], v: op.Value, t: int32(t)}
 			if txn.Committed {
 				committed = append(committed, e)
 			} else {
 				aborted = append(aborted, e) //mtc:alloc-ok aborted writes are rare; growth here is off the common path
 			}
 		}
+		pos += len(txn.Ops)
 	}
 	nk := ix.it.Len()
 

@@ -1,0 +1,621 @@
+package history
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MTCB is the binary columnar wire codec: the on-wire twin of the
+// columnar Index. A document is a header block — magic, version,
+// declared session count, and an interned key table written once — then
+// per-transaction records whose operations are varint-encoded dense
+// key ids and values. Transaction ids are implicit (records arrive in
+// dense id order, like the NDJSON stream), keys are never repeated on
+// the wire, and a one-byte end-of-stream record closes the document so
+// a truncated tail is rejected instead of silently dropped — the binary
+// analog of the NDJSON trailing-newline integrity check.
+//
+// Layout (all integers varint; uvarint unless marked zigzag):
+//
+//	magic   "MTCB"                        4 bytes
+//	version 0x01                          1 byte
+//	sessions declared session count       uvarint (0 = unknown)
+//	keys    table length N                uvarint
+//	N ×     key                           uvarint length + bytes
+//	…records, one tag byte each:
+//	0x01    transaction record:
+//	        session (-1 = init)           zigzag
+//	        start, finish                 zigzag ×2
+//	        committed                     1 byte (0|1)
+//	        ops count M                   uvarint
+//	        M × { keyID<<1 | kind         uvarint   (kind: 0 read, 1 write)
+//	              value }                 zigzag
+//	0x02    key definition: appends the next table id (streaming
+//	        writers that learn keys mid-stream)
+//	0x00    end of stream
+//
+// WriteMTCB emits the key table in lexicographic order, so the wire ids
+// ARE the sorted KeyID ranks of the columnar Index and ReadMTCBIndexed
+// can append footprint columns in one pass with an identity remap — no
+// map lookups per operation, no re-interning.
+const MTCBMagic = "MTCB"
+
+const mtcbVersion = 1
+
+// Record tags.
+const (
+	mtcbTagEnd byte = 0x00
+	mtcbTagTxn byte = 0x01
+	mtcbTagKey byte = 0x02
+)
+
+// Decode guards: corrupt or adversarial input may declare absurd
+// counts; these bound what a reader will allocate before the stream
+// itself runs dry.
+const (
+	mtcbMaxKeyLen   = 1 << 20 // longest key accepted, bytes
+	mtcbMaxSessions = 1 << 20 // highest session number accepted
+	mtcbMaxOps      = 1 << 24 // most operations accepted in one transaction
+	mtcbOpsPrealloc = 1 << 12 // ops preallocated before trusting a declared count
+)
+
+// Sentinel decode errors kept fmt-free so the op-decoding hot loop
+// stays allocation-disciplined; callers wrap them with position info.
+var (
+	errMTCBKeyID     = errors.New("history: mtcb: op references unknown key id")
+	errMTCBOpCount   = errors.New("history: mtcb: implausible op count")
+	errMTCBCommitted = errors.New("history: mtcb: committed flag not 0 or 1")
+)
+
+// BinaryWriter emits an MTCB document one transaction at a time — the
+// binary counterpart of StreamWriter. Keys already in the header table
+// are referenced by id; a key first seen in a transaction is emitted as
+// an inline key-definition record just before it.
+type BinaryWriter struct {
+	bw    *bufio.Writer
+	it    *Interner // wire ids in emission order
+	n     int       // transactions written
+	vbuf  [binary.MaxVarintLen64]byte
+	ended bool
+}
+
+// NewBinaryWriter starts an MTCB document on w with an empty key table;
+// keys are defined inline as transactions introduce them. sessions > 0
+// declares the stream's session count up front (arming a windowed
+// streaming check's staleness horizon, like the NDJSON header); pass 0
+// when it is not known.
+func NewBinaryWriter(w io.Writer, sessions int) (*BinaryWriter, error) {
+	return newBinaryWriter(w, sessions, nil)
+}
+
+// newBinaryWriter writes the header with the given key table. Keys must
+// be distinct; WriteMTCB passes them sorted so wire ids equal the
+// columnar Index's lexicographic ranks.
+func newBinaryWriter(w io.Writer, sessions int, keys []Key) (*BinaryWriter, error) {
+	bw := &BinaryWriter{bw: bufio.NewWriter(w), it: NewInterner()}
+	if _, err := bw.bw.WriteString(MTCBMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.bw.WriteByte(mtcbVersion); err != nil {
+		return nil, err
+	}
+	if sessions < 0 {
+		sessions = 0
+	}
+	bw.putUvarint(uint64(sessions))
+	bw.putUvarint(uint64(len(keys)))
+	for _, k := range keys {
+		bw.it.Intern(k)
+		if err := bw.putString(string(k)); err != nil {
+			return nil, err
+		}
+	}
+	if bw.it.Len() != len(keys) {
+		return nil, fmt.Errorf("history: mtcb: duplicate key in header table")
+	}
+	return bw, nil
+}
+
+func (w *BinaryWriter) putUvarint(v uint64) error {
+	n := binary.PutUvarint(w.vbuf[:], v)
+	_, err := w.bw.Write(w.vbuf[:n])
+	return err
+}
+
+func (w *BinaryWriter) putVarint(v int64) error {
+	n := binary.PutVarint(w.vbuf[:], v)
+	_, err := w.bw.Write(w.vbuf[:n])
+	return err
+}
+
+func (w *BinaryWriter) putString(s string) error {
+	if err := w.putUvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.bw.WriteString(s)
+	return err
+}
+
+// WriteTxn appends one transaction record, emitting inline
+// key-definition records for keys the wire has not seen. IDs must
+// arrive densely in order (t.ID == transactions written so far), and a
+// session of -1 (the init transaction) is only legal first — the same
+// contract as StreamWriter.WriteTxn.
+func (w *BinaryWriter) WriteTxn(t Txn) error {
+	if w.ended {
+		return fmt.Errorf("history: mtcb: write after Close")
+	}
+	if t.ID != w.n {
+		return fmt.Errorf("history: mtcb: txn id %d out of order (want %d)", t.ID, w.n)
+	}
+	if t.Session < -1 {
+		return fmt.Errorf("history: mtcb: txn %d: negative session %d", t.ID, t.Session)
+	}
+	if t.Session == -1 && w.n != 0 {
+		return fmt.Errorf("history: mtcb: init transaction must be first")
+	}
+	for _, op := range t.Ops {
+		if _, ok := w.it.Lookup(op.Key); ok {
+			continue
+		}
+		w.it.Intern(op.Key)
+		w.bw.WriteByte(mtcbTagKey)
+		if err := w.putString(string(op.Key)); err != nil {
+			return err
+		}
+	}
+	w.bw.WriteByte(mtcbTagTxn)
+	w.putVarint(int64(t.Session))
+	w.putVarint(t.Start)
+	w.putVarint(t.Finish)
+	committed := byte(0)
+	if t.Committed {
+		committed = 1
+	}
+	w.bw.WriteByte(committed)
+	// bufio's error is sticky, so only the last write of the record
+	// needs checking: an earlier failure resurfaces there.
+	err := w.putUvarint(uint64(len(t.Ops)))
+	for _, op := range t.Ops {
+		id, _ := w.it.Lookup(op.Key)
+		w.putUvarint(uint64(id)<<1 | uint64(op.Kind&1))
+		err = w.putVarint(int64(op.Value))
+	}
+	if err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Flush writes buffered records through without closing the document.
+func (w *BinaryWriter) Flush() error { return w.bw.Flush() }
+
+// Close writes the end-of-stream record and flushes. The document is
+// not well-formed until Close returns nil.
+func (w *BinaryWriter) Close() error {
+	if w.ended {
+		return nil
+	}
+	w.ended = true
+	if err := w.bw.WriteByte(mtcbTagEnd); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// WriteMTCB serializes the whole history as one MTCB document (the
+// one-shot counterpart of BinaryWriter). The key table is written
+// sorted, so decoders that build a columnar Index get lexicographic
+// wire ids for free.
+func WriteMTCB(w io.Writer, h *History) error {
+	bw, err := newBinaryWriter(w, len(h.Sessions), h.Keys())
+	if err != nil {
+		return err
+	}
+	for i := range h.Txns {
+		t := h.Txns[i]
+		if h.HasInit && i == 0 {
+			t.Session = -1
+		}
+		if err := bw.WriteTxn(t); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// BinaryReader yields the transactions of an MTCB document one at a
+// time, transparently decompressing gzip input (sniffed by magic bytes,
+// like ReadAuto). It satisfies the core.TxnSource contract — Next until
+// io.EOF — and declares the header's session count, so it composes with
+// CheckStream and epoch-windowed compaction exactly as StreamReader
+// does. Decoded Op.Key strings alias the interned key table: one string
+// per distinct key per document, not per operation.
+type BinaryReader struct {
+	br       *bufio.Reader
+	names    []Key
+	seen     map[Key]struct{}
+	declared int
+	next     int
+	nextOff  int // ops consumed so far (opIDs cursor)
+	hasInit  bool
+	sessions [][]int
+	done     bool
+
+	arena   *IngestArena
+	collect bool
+	opIDs   []KeyID // wire key id per op, in stream order (collect mode)
+}
+
+// NewBinaryReader validates the MTCB header, reads the key table, and
+// positions the reader at the first record.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	return newBinaryReader(r, nil)
+}
+
+// NewBinaryFrameReader is NewBinaryReader with every decode allocation
+// that can outlive the frame routed through a long-lived IngestArena:
+// key strings intern session-wide and Op slices are carved from shared
+// chunks. mtcserve batch ingest decodes each posted frame this way.
+func NewBinaryFrameReader(r io.Reader, a *IngestArena) (*BinaryReader, error) {
+	return newBinaryReader(r, a)
+}
+
+func newBinaryReader(r io.Reader, arena *IngestArena) (*BinaryReader, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("history: mtcb: gzip: %w", err)
+		}
+		br = bufio.NewReader(zr)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("history: mtcb: short magic: %w", err)
+	}
+	if string(magic[:]) != MTCBMagic {
+		return nil, fmt.Errorf("history: mtcb: bad magic %q", magic[:])
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("history: mtcb: missing version: %w", err)
+	}
+	if version != mtcbVersion {
+		return nil, fmt.Errorf("history: mtcb: unsupported version %d", version)
+	}
+	sr := &BinaryReader{br: br, arena: arena, seen: make(map[Key]struct{})}
+	declared, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("history: mtcb: truncated header: %w", err)
+	}
+	if declared > mtcbMaxSessions {
+		return nil, fmt.Errorf("history: mtcb: implausible session count %d", declared)
+	}
+	sr.declared = int(declared)
+	nk, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("history: mtcb: truncated header: %w", err)
+	}
+	for i := uint64(0); i < nk; i++ {
+		if err := sr.readKeyDef(); err != nil {
+			return nil, err
+		}
+	}
+	return sr, nil
+}
+
+// readKeyDef reads one key-table entry (from the header or an inline
+// 0x02 record), interning through the arena when one is attached and
+// rejecting duplicate entries — two wire ids for one key would let a
+// corrupt stream smuggle distinct-looking ops onto the same key.
+func (r *BinaryReader) readKeyDef() error {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("history: mtcb: truncated key table: %w", err)
+	}
+	if n > mtcbMaxKeyLen {
+		return fmt.Errorf("history: mtcb: key length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return fmt.Errorf("history: mtcb: truncated key table: %w", err)
+	}
+	k := Key(buf)
+	if r.arena != nil {
+		k = r.arena.internKey(k)
+	}
+	if _, dup := r.seen[k]; dup {
+		return fmt.Errorf("history: mtcb: duplicate key table entry %q", k)
+	}
+	r.seen[k] = struct{}{}
+	r.names = append(r.names, k)
+	return nil
+}
+
+// DeclaredSessions returns the session count the header declared, or 0
+// when the writer did not know it up front.
+func (r *BinaryReader) DeclaredSessions() int { return r.declared }
+
+// HasInit reports whether the stream carried an init transaction. Only
+// meaningful for the prefix consumed so far.
+func (r *BinaryReader) HasInit() bool { return r.hasInit }
+
+// NumTxns returns how many transactions have been consumed.
+func (r *BinaryReader) NumTxns() int { return r.next }
+
+// Next returns the next transaction in stream order, or io.EOF once the
+// end-of-stream record has been consumed. EOF on the underlying reader
+// before that record is a truncated document and fails loudly.
+func (r *BinaryReader) Next() (Txn, error) {
+	if r.done {
+		return Txn{}, io.EOF
+	}
+	for {
+		tag, err := r.br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return Txn{}, fmt.Errorf("history: mtcb: truncated stream after %d txns (missing end-of-stream record)", r.next)
+			}
+			return Txn{}, err
+		}
+		switch tag {
+		case mtcbTagEnd:
+			r.done = true
+			return Txn{}, io.EOF
+		case mtcbTagKey:
+			if err := r.readKeyDef(); err != nil {
+				return Txn{}, err
+			}
+		case mtcbTagTxn:
+			return r.readTxn()
+		default:
+			return Txn{}, fmt.Errorf("history: mtcb: record %d: unknown tag 0x%02x", r.next, tag)
+		}
+	}
+}
+
+// readTxn decodes one transaction record; the id is implicit.
+func (r *BinaryReader) readTxn() (Txn, error) {
+	sess, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return Txn{}, r.truncated(err)
+	}
+	if sess < -1 || sess > mtcbMaxSessions {
+		return Txn{}, fmt.Errorf("history: mtcb: txn %d: implausible session %d", r.next, sess)
+	}
+	if sess == -1 && r.next != 0 {
+		return Txn{}, fmt.Errorf("history: mtcb: txn %d: init transaction must be first", r.next)
+	}
+	start, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return Txn{}, r.truncated(err)
+	}
+	finish, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return Txn{}, r.truncated(err)
+	}
+	committed, err := r.br.ReadByte()
+	if err != nil {
+		return Txn{}, r.truncated(err)
+	}
+	if committed > 1 {
+		return Txn{}, fmt.Errorf("history: mtcb: txn %d: %w", r.next, errMTCBCommitted)
+	}
+	ops, err := r.readOps()
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Txn{}, r.truncated(err)
+		}
+		return Txn{}, fmt.Errorf("history: mtcb: txn %d: %w", r.next, err)
+	}
+	t := Txn{
+		ID: r.next, Session: int(sess), Ops: ops,
+		Start: start, Finish: finish, Committed: committed == 1,
+	}
+	if sess == -1 {
+		r.hasInit = true
+	} else {
+		for len(r.sessions) <= int(sess) {
+			r.sessions = append(r.sessions, nil)
+		}
+		r.sessions[sess] = append(r.sessions[sess], t.ID)
+	}
+	r.next++
+	r.nextOff += len(ops)
+	return t, nil
+}
+
+// readOps decodes a transaction's operation block. Key strings alias
+// the interned table, the Ops slice comes from the arena when one is
+// attached, and errors are the fmt-free sentinels above.
+//
+//mtc:hotpath — per-op decode loop; one Ops slice per txn (or none, from the arena), zero per-op allocation
+func (r *BinaryReader) readOps() ([]Op, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, err
+	}
+	if n > mtcbMaxOps {
+		return nil, errMTCBOpCount
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	var ops []Op
+	exact := n <= mtcbOpsPrealloc
+	if exact {
+		// Declared count small enough to trust: allocate exactly (from
+		// the arena when attached) and fill in place.
+		if r.arena != nil {
+			ops = r.arena.alloc(int(n))
+		} else {
+			ops = make([]Op, n) //mtc:alloc-ok the one per-txn allocation of the no-arena path
+		}
+	} else {
+		// A count this large may be a lie from a corrupt stream: grow
+		// only as fast as the stream actually delivers ops.
+		ops = make([]Op, 0, mtcbOpsPrealloc)
+	}
+	for i := uint64(0); i < n; i++ {
+		ku, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return nil, err
+		}
+		wire := ku >> 1
+		if wire >= uint64(len(r.names)) {
+			return nil, errMTCBKeyID
+		}
+		v, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return nil, err
+		}
+		op := Op{Kind: OpKind(ku & 1), Key: r.names[wire], Value: Value(v)}
+		if exact {
+			ops[i] = op
+		} else {
+			ops = append(ops, op) //mtc:alloc-ok growth path only reachable past a 4096-op declared count
+		}
+		if r.collect {
+			r.opIDs = append(r.opIDs, KeyID(wire)) //mtc:alloc-ok amortized stream-wide column, indexed-read mode only
+		}
+	}
+	return ops, nil
+}
+
+// truncated wraps an unexpected end-of-input inside a record.
+func (r *BinaryReader) truncated(err error) error {
+	return fmt.Errorf("history: mtcb: truncated txn record %d: %w", r.next, err)
+}
+
+// drain consumes the rest of the stream into a validated History.
+func (r *BinaryReader) drain() (*History, error) {
+	var h History
+	for {
+		t, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.Txns = append(h.Txns, t)
+	}
+	h.Sessions = r.sessions
+	// The header's declared session count restores sessions with no
+	// transactions (a per-transaction encoding cannot witness them).
+	for len(h.Sessions) < r.declared {
+		h.Sessions = append(h.Sessions, nil)
+	}
+	h.HasInit = r.hasInit
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// ReadMTCB drains an MTCB document into a validated History (the
+// one-shot counterpart of BinaryReader, used by ReadAuto).
+func ReadMTCB(r io.Reader) (*History, error) {
+	sr, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return sr.drain()
+}
+
+// ReadMTCBIndexed drains an MTCB document straight into a columnar
+// Index: the key table is interned once at header time and the
+// footprint columns are appended in one pass over the wire ids, so no
+// per-operation map lookup or re-intern happens anywhere. For documents
+// written by WriteMTCB the table arrives pre-sorted and the id remap is
+// the identity. The History behind the Index is reachable via
+// Index.History().
+func ReadMTCBIndexed(r io.Reader) (*Index, error) {
+	sr, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	sr.collect = true
+	h, err := sr.drain()
+	if err != nil {
+		return nil, err
+	}
+	// Remap wire ids to lexicographic ranks. The sorted interner also
+	// backs the Index's name lookups.
+	nk := len(sr.names)
+	sortedNames := make([]Key, nk)
+	copy(sortedNames, sr.names)
+	sort.Slice(sortedNames, func(i, j int) bool { return sortedNames[i] < sortedNames[j] })
+	sorted := NewInterner()
+	for _, k := range sortedNames {
+		sorted.Intern(k)
+	}
+	remap := make([]KeyID, nk) // wire id -> sorted rank
+	identity := true
+	for id, k := range sr.names {
+		remap[id], _ = sorted.Lookup(k)
+		identity = identity && remap[id] == KeyID(id)
+	}
+	if !identity {
+		remapColumn(sr.opIDs, remap)
+	}
+	return newIndexColumns(h, sorted, sr.opIDs), nil
+}
+
+// remapColumn rewrites a KeyID column in place through remap.
+//
+//mtc:hotpath — indexed-decode id remap, zero allocation
+func remapColumn(ids []KeyID, remap []KeyID) {
+	for i, id := range ids {
+		ids[i] = remap[id]
+	}
+}
+
+// IngestArena amortizes the decode allocations of many small MTCB
+// frames feeding one long-lived consumer — an mtcserve streaming
+// session. Key strings intern once per session instead of once per
+// frame, and Op slices are carved from append-only chunks instead of
+// one make per transaction. Handing arena-backed transactions to
+// core.Incremental is safe because Add never retains the Ops slice (it
+// copies what it keeps); the chunks die with the session.
+type IngestArena struct {
+	it   *Interner
+	free []Op
+}
+
+// NewIngestArena returns an empty arena.
+func NewIngestArena() *IngestArena { return &IngestArena{it: NewInterner()} }
+
+// ingestArenaChunk is the Op count carved per chunk allocation.
+const ingestArenaChunk = 4096
+
+// alloc returns an n-op slice from the current chunk, cutting a fresh
+// chunk when it runs dry. The capacity is clipped so callers cannot
+// append into a neighbor's ops.
+//
+//mtc:hotpath — one chunk allocation per 4096 decoded ops
+func (a *IngestArena) alloc(n int) []Op {
+	if n > len(a.free) {
+		if n >= ingestArenaChunk {
+			return make([]Op, n) //mtc:alloc-ok oversized transactions get their own slice
+		}
+		a.free = make([]Op, ingestArenaChunk) //mtc:alloc-ok the amortized chunk cut
+	}
+	out := a.free[:n:n]
+	a.free = a.free[n:]
+	return out
+}
+
+// internKey returns the canonical session-wide string for k, letting
+// each frame's key-table copies be collected after decode.
+func (a *IngestArena) internKey(k Key) Key { return a.it.Name(a.it.Intern(k)) }
+
+// NumKeys returns the number of distinct keys interned so far.
+func (a *IngestArena) NumKeys() int { return a.it.Len() }

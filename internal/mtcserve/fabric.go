@@ -1,11 +1,14 @@
 package mtcserve
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"mtc/internal/api"
@@ -65,7 +68,33 @@ func (s *Server) handleFabricPull(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeJSON(w, http.StatusOK, task)
+	writeFabricJSON(w, r, http.StatusOK, task)
+}
+
+// writeFabricJSON writes v as JSON, gzip-compressing the body when the
+// client advertised Accept-Encoding: gzip and the encoding is at least
+// fabric.GzipThreshold bytes — component task payloads dwarf the rest of
+// the fabric chatter, and their JSON (or base64-wrapped MTCB) bodies
+// compress well. Compression is skipped when it does not actually shrink
+// the body.
+func writeFabricJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if len(body) >= fabric.GzipThreshold && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		var zb bytes.Buffer
+		zw := gzip.NewWriter(&zb)
+		_, werr := zw.Write(body)
+		if cerr := zw.Close(); werr == nil && cerr == nil && zb.Len() < len(body) {
+			body = zb.Bytes()
+			w.Header().Set("Content-Encoding", "gzip")
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 // handleFabricResults implements POST /v1/fabric/workers/{id}/results.
@@ -74,8 +103,21 @@ func (s *Server) handleFabricResults(w http.ResponseWriter, r *http.Request) {
 		s.fabricDisabled(w, r)
 		return
 	}
+	// Workers gzip large result bodies (fabric.GzipThreshold); inflate
+	// transparently, re-bounding the decompressed stream by the body
+	// limit so a compression bomb cannot bypass MaxBytesHandler.
+	body := io.Reader(r.Body)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(r.Body)
+		if err != nil {
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad gzip fabric result body: %v", err)
+			return
+		}
+		defer zr.Close()
+		body = io.LimitReader(zr, s.maxBodyBytes())
+	}
 	var res api.FabricResult
-	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+	if err := json.NewDecoder(body).Decode(&res); err != nil {
 		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad fabric result: %v", err)
 		return
 	}

@@ -22,6 +22,7 @@
 //	DELETE /v1/jobs/{id}                cancel and forget a job (stops its worker)
 //	POST   /v1/sessions                 open a streaming session {level, keys}
 //	POST   /v1/sessions/{id}/txns       feed one txn or an array of txns
+//	POST   /v1/sessions/{id}/batch      feed one MTCB binary frame of txns
 //	GET    /v1/sessions/{id}/verdict    verdict so far (?final=1 closes)
 //	DELETE /v1/sessions/{id}            discard a session
 //	GET    /v1/fixtures                 the built-in anomaly fixtures
@@ -166,6 +167,11 @@ type session struct {
 	stopped  bool
 	window   int // compaction window; 0 = unbounded
 	lastUsed time.Time
+	// arena amortizes binary batch ingest (POST .../batch): keys intern
+	// once per session and decoded Op slices are carved from shared
+	// chunks instead of per-transaction allocations. Created lazily on
+	// the first batch; guarded by mu like the rest of the session.
+	arena *history.IngestArena
 }
 
 // touch stamps the session as active. Caller must hold sess.mu.
@@ -330,6 +336,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
 	mux.HandleFunc("POST /v1/sessions/{id}/txns", s.handleSessionTxns)
+	mux.HandleFunc("POST /v1/sessions/{id}/batch", s.handleSessionBatch)
 	mux.HandleFunc("GET /v1/sessions/{id}/verdict", s.handleSessionVerdict)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/fixtures", s.handleFixtures)
@@ -648,6 +655,70 @@ func (s *Server) handleSessionTxns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.touch()
+	for i := range txns {
+		sess.inc.Add(txns[i])
+	}
+	sess.inc.MaybeCompact(sess.window, 0, nil)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.status(id, sess))
+}
+
+// handleSessionBatch implements POST /v1/sessions/{id}/batch: one MTCB
+// frame — a complete binary document, possibly gzipped — whose
+// transactions append to the session's incremental check. The frame
+// decodes through the session's IngestArena, so keys intern once per
+// session and no per-transaction map or JSON value is materialized; a
+// batch is atomic — a frame that fails to decode (or smuggles an init
+// record) changes nothing.
+func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.lookupSession(id)
+	if sess == nil {
+		s.v1Error(w, r, http.StatusNotFound, api.CodeNotFound, "unknown session %q", id)
+		return
+	}
+	// Buffer the frame before taking the session lock, so a slow client
+	// upload cannot stall verdict polls on the same session.
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad batch payload: %v", err)
+		return
+	}
+	sess.mu.Lock()
+	if sess.stopped {
+		sess.mu.Unlock()
+		s.v1Error(w, r, http.StatusConflict, api.CodeConflict, "session %q is finalized", id)
+		return
+	}
+	sess.touch()
+	if sess.arena == nil {
+		sess.arena = history.NewIngestArena()
+	}
+	fr, err := history.NewBinaryFrameReader(bytes.NewReader(raw), sess.arena)
+	if err != nil {
+		sess.mu.Unlock()
+		s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad mtcb frame: %v", err)
+		return
+	}
+	var txns []history.Txn
+	for {
+		t, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sess.mu.Unlock()
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad mtcb frame: %v", err)
+			return
+		}
+		if t.Session < 0 {
+			sess.mu.Unlock()
+			s.v1Error(w, r, http.StatusBadRequest, api.CodeBadRequest,
+				"batch frames must not carry an init record (declare initial keys at session open)")
+			return
+		}
+		txns = append(txns, t)
+	}
 	for i := range txns {
 		sess.inc.Add(txns[i])
 	}

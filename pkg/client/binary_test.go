@@ -1,0 +1,66 @@
+package client_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"mtc/pkg/client"
+	"mtc/pkg/mtc"
+)
+
+// TestSessionSendBinary drives two sessions with the same transactions,
+// one over JSON Send and one over the MTCB batch endpoint, and demands
+// the running statuses agree — including the lost-update flip.
+func TestSessionSendBinary(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	js, _, err := c.OpenSession(ctx, "SI", "x")
+	if err != nil {
+		t.Fatalf("open json session: %v", err)
+	}
+	bs, _, err := c.OpenSession(ctx, "SI", "x")
+	if err != nil {
+		t.Fatalf("open binary session: %v", err)
+	}
+	txns := []client.TxnPayload{
+		client.Txn(0, mtc.Read("x", 0), mtc.Write("x", 1)),
+		client.Txn(1, mtc.Read("x", 0), mtc.Write("x", 2)), // lost update
+	}
+	jst, err := js.Send(ctx, txns...)
+	if err != nil {
+		t.Fatalf("json send: %v", err)
+	}
+	bst, err := bs.SendBinary(ctx, txns...)
+	if err != nil {
+		t.Fatalf("binary send: %v", err)
+	}
+	if bst.Txns != jst.Txns || bst.OK != jst.OK || bst.Edges != jst.Edges {
+		t.Fatalf("binary status diverges from json:\nbinary: %+v\njson:   %+v", bst, jst)
+	}
+	if bst.OK || bst.Report == nil {
+		t.Fatalf("lost update not caught over the binary path: %+v", bst)
+	}
+	if st, err := bs.Verdict(ctx, true); err != nil || !st.Final {
+		t.Fatalf("finalize binary session: %+v %v", st, err)
+	}
+}
+
+// TestSendBinaryRequiresCommitted: the binary encoder refuses payloads
+// whose Committed field was never set instead of guessing.
+func TestSendBinaryRequiresCommitted(t *testing.T) {
+	_, c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sess, _, err := c.OpenSession(ctx, "SI", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.SendBinary(ctx, client.TxnPayload{Sess: 0, Ops: []mtc.Op{mtc.Write("x", 1)}})
+	if err == nil || !strings.Contains(err.Error(), "Committed") {
+		t.Fatalf("missing Committed not rejected: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mtc/internal/api"
+	"mtc/internal/history"
 	"mtc/pkg/mtc"
 )
 
@@ -176,6 +177,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return fmt.Errorf("client: encode request: %w", err)
 		}
 	}
+	return c.doBytes(ctx, method, path, "application/json", payload, out)
+}
+
+// doBytes is do with a pre-encoded request body: the retry loop, error
+// envelope decoding and 2xx JSON response decoding of do, but the
+// payload bytes (and their content type) are the caller's — the raw
+// path SendBinary posts MTCB frames through.
+func (c *Client) doBytes(ctx context.Context, method, path, contentType string, payload []byte, out any) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -187,7 +196,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return err
 		}
 		if payload != nil {
-			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Content-Type", contentType)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -415,6 +424,40 @@ func (c *Client) OpenSessionOpts(ctx context.Context, opts SessionOpts) (*Sessio
 func (s *Session) Send(ctx context.Context, txns ...TxnPayload) (SessionStatus, error) {
 	var st SessionStatus
 	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/txns", txns, &st)
+	return st, err
+}
+
+// SendBinary feeds transactions as one MTCB binary frame (POST
+// /v1/sessions/{id}/batch): the server decodes it through a per-session
+// arena with no per-transaction JSON materialization, so this is the
+// high-throughput ingest path for large batches. Semantically identical
+// to Send — same transactions, same running status back. Every payload
+// must carry an explicit Committed flag (the binary record has no
+// "unknown" state), and the batch is atomic on the server: a frame that
+// fails to encode here or decode there changes nothing.
+func (s *Session) SendBinary(ctx context.Context, txns ...TxnPayload) (SessionStatus, error) {
+	var st SessionStatus
+	var buf bytes.Buffer
+	bw, err := history.NewBinaryWriter(&buf, 0)
+	if err != nil {
+		return st, fmt.Errorf("client: encode mtcb frame: %w", err)
+	}
+	for i, p := range txns {
+		if p.Committed == nil {
+			return st, fmt.Errorf("client: txn %d: missing required field Committed", i)
+		}
+		t := history.Txn{
+			ID: i, Session: p.Sess, Ops: p.Ops, Committed: *p.Committed,
+			Start: p.Start, Finish: p.Finish,
+		}
+		if err := bw.WriteTxn(t); err != nil {
+			return st, fmt.Errorf("client: encode mtcb frame: %w", err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		return st, fmt.Errorf("client: encode mtcb frame: %w", err)
+	}
+	err = s.c.doBytes(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/batch", "application/octet-stream", buf.Bytes(), &st)
 	return st, err
 }
 
